@@ -1,0 +1,94 @@
+// Ablation for §III-D: idle-poll pacing.
+//
+// On BG/Q an idle worker spinning hot steals pipeline slots from the
+// sibling hardware threads on its core; the optimized poll stalls on an
+// L2 atomic load (~60 cycles) instead.  On this host the analogue is a
+// busy PE sharing the core with an active one: we run one "active"
+// thread doing fixed arithmetic while a second thread idles under each
+// policy, and report the active thread's throughput plus the idle
+// thread's wake latency when work finally arrives.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/spin.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timing.hpp"
+#include "queue/l2_atomic_queue.hpp"
+
+using namespace bgq;
+
+namespace {
+
+struct Result {
+  double active_mops = 0;   ///< active thread's Mops/s with the idler beside it
+  double wake_us = 0;       ///< idle thread's median reaction latency
+};
+
+Result run_policy(IdlePollPolicy policy) {
+  queue::L2AtomicQueue<std::uint64_t*> q(64);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> posted_at{0};
+  SampleSet wakes;
+
+  std::thread idler([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // The §III-D loop: probe the message-queue counter, pace per policy.
+      if (auto* m = q.try_dequeue()) {
+        (void)m;
+        wakes.add((now_ns() - posted_at.load(std::memory_order_acquire)) *
+                  1e-3);
+        continue;
+      }
+      switch (policy) {
+        case IdlePollPolicy::kHotSpin: cpu_relax(); break;
+        case IdlePollPolicy::kL2Paced: l2_paced_delay(); break;
+        case IdlePollPolicy::kOsYield: std::this_thread::yield(); break;
+      }
+    }
+  });
+
+  // Active thread (this one): arithmetic throughput while the idler
+  // shares the core, with a few message arrivals sprinkled in.
+  static std::uint64_t token_storage = 1;
+  double ops = 0;
+  volatile double sink = 1.0;
+  Timer t;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 400000; ++i) sink = sink * 1.0000001 + 1e-9;
+    ops += 400000;
+    posted_at.store(now_ns(), std::memory_order_release);
+    q.enqueue(&token_storage);
+  }
+  const double secs = t.elapsed_s();
+  stop.store(true, std::memory_order_release);
+  idler.join();
+
+  Result r;
+  r.active_mops = ops / secs * 1e-6;
+  r.wake_us = wakes.median();
+  (void)sink;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sec III-D ablation: idle-poll pacing ==\n");
+  std::printf("paper: the optimized poll stalls on L2 atomic loads so an "
+              "idle thread leaves the core's pipeline to active "
+              "threads\n\n");
+  TextTable tbl({"policy", "active_Mops", "idle_wake_us"});
+  const auto hot = run_policy(IdlePollPolicy::kHotSpin);
+  const auto paced = run_policy(IdlePollPolicy::kL2Paced);
+  const auto yield = run_policy(IdlePollPolicy::kOsYield);
+  tbl.row("hot_spin", hot.active_mops, hot.wake_us);
+  tbl.row("l2_paced", paced.active_mops, paced.wake_us);
+  tbl.row("os_yield", yield.active_mops, yield.wake_us);
+  tbl.print();
+  std::printf("\nexpected shape: paced/yield give the active thread more "
+              "of the core than hot spin, at modestly higher wake "
+              "latency\n");
+  return 0;
+}

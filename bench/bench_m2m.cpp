@@ -1,0 +1,128 @@
+// Ablation for §III-E: the CmiDirectManytomany burst interface vs
+// point-to-point Converse messages on the functional runtime — per-burst
+// wall time for all-to-all patterns of varying chunk size and the effect
+// of comm-thread parallel injection.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timing.hpp"
+#include "converse/machine.hpp"
+#include "l2atomic/completion.hpp"
+#include "m2m/manytomany.hpp"
+
+using namespace bgq;
+
+namespace {
+
+/// All-to-all over every PE through the m2m engine; returns us/epoch.
+double m2m_alltoall_us(cvs::Mode mode, std::size_t chunk_bytes,
+                       int epochs) {
+  cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mode;
+  cfg.workers_per_process = 2;
+  cfg.comm_threads = 1;
+  cvs::Machine machine(cfg);
+  m2m::Coordinator coord(machine);
+  const auto npes = static_cast<cvs::PeRank>(machine.pe_count());
+
+  std::vector<std::vector<std::byte>> send(npes), recv(npes);
+  for (cvs::PeRank r = 0; r < npes; ++r) {
+    send[r].assign(npes * chunk_bytes, std::byte{1});
+    recv[r].assign(npes * chunk_bytes, std::byte{0});
+    m2m::Handle& h = coord.create(r, 1, npes, npes);
+    h.set_send_base(send[r].data());
+    h.set_recv_base(recv[r].data());
+    for (cvs::PeRank j = 0; j < npes; ++j) {
+      h.set_send(j, j, r, j * chunk_bytes, chunk_bytes);
+      h.set_recv(j, j * chunk_bytes, chunk_bytes);
+    }
+  }
+
+  std::atomic<double> us{0};
+  std::atomic<int> done{0};
+  machine.run([&](cvs::Pe& pe) {
+    m2m::Handle& h = coord.handle(pe.rank(), 1);
+    pe.barrier();
+    Timer t;
+    for (int e = 1; e <= epochs; ++e) {
+      h.start();
+      while (!h.recv_done(e) || !h.send_done(e)) {
+        if (!pe.pump_one()) std::this_thread::yield();
+      }
+      pe.barrier();
+    }
+    if (pe.rank() == 0) us.store(t.elapsed_us() / epochs);
+    if (done.fetch_add(1) + 1 == static_cast<int>(npes)) pe.exit_all();
+  });
+  return us.load();
+}
+
+/// Same pattern with one Converse message per chunk.
+double p2p_alltoall_us(cvs::Mode mode, std::size_t chunk_bytes,
+                       int epochs) {
+  cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mode;
+  cfg.workers_per_process = 2;
+  cfg.comm_threads = 1;
+  cvs::Machine machine(cfg);
+  const auto npes = static_cast<cvs::PeRank>(machine.pe_count());
+
+  std::vector<std::unique_ptr<l2::CompletionCounter>> got(npes);
+  for (auto& g : got) g = std::make_unique<l2::CompletionCounter>();
+  const cvs::HandlerId h = machine.register_handler(
+      [&](cvs::Pe& pe, cvs::Message* m) {
+        pe.free_message(m);
+        got[pe.rank()]->complete();
+      });
+
+  std::vector<std::byte> chunk(chunk_bytes, std::byte{1});
+  std::atomic<double> us{0};
+  std::atomic<int> done{0};
+  machine.run([&](cvs::Pe& pe) {
+    pe.barrier();
+    Timer t;
+    for (int e = 1; e <= epochs; ++e) {
+      for (cvs::PeRank j = 0; j < npes; ++j) {
+        pe.send(j, h, chunk.data(), chunk.size());
+      }
+      while (!got[pe.rank()]->reached(
+          static_cast<std::uint64_t>(e) * npes)) {
+        if (!pe.pump_one()) std::this_thread::yield();
+      }
+      pe.barrier();
+    }
+    if (pe.rank() == 0) us.store(t.elapsed_us() / epochs);
+    if (done.fetch_add(1) + 1 == static_cast<int>(npes)) pe.exit_all();
+  });
+  return us.load();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Sec III-E ablation: all-to-all burst, p2p vs m2m "
+              "(functional, 4 PEs) ==\n");
+  std::printf("m2m removes per-message allocation + scheduling; the gap "
+              "is largest for small chunks (the paper's 32-byte PME "
+              "messages)\n\n");
+
+  constexpr int kEpochs = 50;
+  TextTable tbl({"chunk_B", "mode", "p2p_us", "m2m_us", "speedup"});
+  for (std::size_t bytes : {32u, 256u, 4096u}) {
+    for (cvs::Mode mode :
+         {cvs::Mode::kSmp, cvs::Mode::kSmpCommThreads}) {
+      const char* mname =
+          mode == cvs::Mode::kSmp ? "SMP" : "SMP+ct";
+      const double p = p2p_alltoall_us(mode, bytes, kEpochs);
+      const double m = m2m_alltoall_us(mode, bytes, kEpochs);
+      tbl.row(bytes, mname, p, m, p / m);
+    }
+  }
+  tbl.print();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 11: ApoA1 scaling comparison, BG/P vs BG/Q, PME every 4 steps.
+//
+// The paper picks the best configuration per node count on BG/Q (all 64
+// threads up to 128 nodes; 32 workers + 8 comm threads from 256 to 1024;
+// 16 workers + 8 comm threads at 2048/4096; m2m PME from 128 nodes) and
+// reports a best timestep of 683 us at 4096 nodes, with speedups of 2495
+// at 1024 and 3981 at 4096 nodes over one core.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "model/namd_model.hpp"
+
+using namespace bgq::model;
+
+namespace {
+
+double best_bgq(std::size_t nodes, std::string& cfg_name) {
+  struct Cfg {
+    const char* name;
+    unsigned workers;
+    Mode mode;
+    unsigned ct;
+    bool m2m;
+  };
+  const Cfg cfgs[] = {
+      {"64wk", 64, Mode::kSmp, 0, false},
+      {"64wk+m2m", 64, Mode::kSmp, 0, true},
+      {"32wk+8ct", 32, Mode::kSmpCommThreads, 8, true},
+      {"16wk+8ct", 16, Mode::kSmpCommThreads, 8, true},
+  };
+  double best = 1e18;
+  for (const Cfg& c : cfgs) {
+    NamdRun run;
+    run.nodes = nodes;
+    run.workers = c.workers;
+    run.runtime.mode = c.mode;
+    run.runtime.comm_threads = c.ct;
+    run.m2m_pme = c.m2m && nodes >= 128;
+    const double t = simulate_namd_step(run).total_us;
+    if (t < best) {
+      best = t;
+      cfg_name = c.name;
+    }
+  }
+  return best;
+}
+
+double bgp_time(std::size_t nodes) {
+  NamdRun run;
+  run.nodes = nodes;
+  run.machine = MachineModel::bgp();
+  run.workers = 4;
+  run.runtime.mode = Mode::kNonSmp;
+  return simulate_namd_step(run).total_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 11 (simulated): ApoA1 us/step, BG/P vs BG/Q, "
+              "PME every 4 ==\n");
+  std::printf("paper anchors: BG/Q best 683us at 4096 nodes; speedup "
+              "2495 at 1024 nodes, 3981 at 4096 over one core\n\n");
+
+  // One-core reference for speedups: one worker, one node.
+  NamdRun one;
+  one.nodes = 1;
+  one.workers = 1;
+  one.runtime.mode = Mode::kNonSmp;
+  const double t1 = simulate_namd_step(one).compute_us;  // serial compute
+
+  bgq::TextTable tbl({"nodes", "BG/P_us", "BG/Q_us", "BGQ_cfg",
+                      "BGQ_speedup_vs_1core", "P/Q_ratio"});
+  for (std::size_t nodes : {128, 256, 512, 1024, 2048, 4096}) {
+    std::string cfg;
+    const double q = best_bgq(nodes, cfg);
+    const double p = bgp_time(nodes);
+    tbl.row(nodes, p, q, cfg, t1 / q, p / q);
+  }
+  tbl.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 8: ApoA1 step time with and without L2 atomics, two
+// configurations.
+//
+// The paper: lockless queues + pool allocator (both built on L2 atomics)
+// vs mutex queues + GNU allocator; at 512 nodes with one process per node
+// the L2-atomic build is ~67% faster.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "model/namd_model.hpp"
+
+using namespace bgq::model;
+
+int main() {
+  std::printf("== Figure 8 (simulated): ApoA1 us/step, L2 atomics "
+              "on/off ==\n");
+  std::printf("paper anchor: at 512 nodes, one process per node, L2 "
+              "atomics speed the step up by ~67%%\n\n");
+
+  bgq::TextTable tbl({"nodes", "1ppn_L2on", "1ppn_L2off", "speedup",
+                      "2ppn_L2on", "2ppn_L2off", "speedup"});
+  for (std::size_t nodes : {128, 256, 512, 1024}) {
+    // Config A: one process per node, 48 workers (the contended case —
+    // every thread shares one process's queues and allocator).
+    NamdRun a_on;
+    a_on.nodes = nodes;
+    a_on.workers = 48;
+    a_on.runtime.mode = Mode::kSmp;
+    NamdRun a_off = a_on;
+    a_off.runtime.use_l2_atomics = false;
+
+    // Config B: two processes per node halves the sharing (modelled as
+    // half the contention multiplier's effect).
+    NamdRun b_on = a_on;
+    b_on.workers = 24;  // per process; model takes per-node throughput
+    b_on.runtime.l2_off_multiplier = 1.75;
+    NamdRun b_off = b_on;
+    b_off.runtime.use_l2_atomics = false;
+
+    const double ta_on = simulate_namd_step(a_on).total_us;
+    const double ta_off = simulate_namd_step(a_off).total_us;
+    const double tb_on = simulate_namd_step(b_on).total_us;
+    const double tb_off = simulate_namd_step(b_off).total_us;
+    tbl.row(nodes, ta_on, ta_off, ta_off / ta_on, tb_on, tb_off,
+            tb_off / tb_on);
+  }
+  tbl.print();
+  return 0;
+}

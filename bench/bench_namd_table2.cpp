@@ -1,0 +1,46 @@
+// Table II: STMV 100M-atom step time and speedup, PME every 4 steps.
+//
+// Paper (1 process/node, 48 or 32 threads):
+//   nodes  cores   timestep(ms)  speedup
+//   2048   32768   98.8          32,768   (efficiency 1 by definition)
+//   4096   65536   55.4          58,438
+//   8192   131072  30.3          106,847
+//   16384  262144  17.9          180,864
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "model/namd_model.hpp"
+
+using namespace bgq::model;
+
+int main() {
+  std::printf("== Table II (simulated): STMV 100M step (ms), PME every 4 "
+              "==\n");
+  std::printf("speedup convention: parallel efficiency 1 at 2048 nodes "
+              "(32768 cores), as in the paper\n\n");
+
+  const double paper_ms[4] = {98.8, 55.4, 30.3, 17.9};
+  const double paper_speedup[4] = {32768, 58438, 106847, 180864};
+  const std::size_t node_counts[4] = {2048, 4096, 8192, 16384};
+  const unsigned workers[4] = {48, 48, 48, 32};
+
+  double t2048 = 0;
+  bgq::TextTable tbl({"nodes", "cores", "threads", "sim_ms", "paper_ms",
+                      "sim_speedup", "paper_speedup"});
+  for (int i = 0; i < 4; ++i) {
+    NamdRun run;
+    run.system = NamdSystem::stmv100m();
+    run.nodes = node_counts[i];
+    run.workers = workers[i];
+    run.runtime.mode = Mode::kSmpCommThreads;
+    run.runtime.comm_threads = 8;
+    run.m2m_pme = true;
+    const double ms = simulate_namd_step(run).total_us * 1e-3;
+    if (i == 0) t2048 = ms;
+    const double speedup = 32768.0 * t2048 / ms;
+    tbl.row(node_counts[i], node_counts[i] * 16, workers[i], ms,
+            paper_ms[i], speedup, paper_speedup[i]);
+  }
+  tbl.print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// §VII future work: topology-aware placement.
+//
+// "On larger BG/Q configurations we expect topological placement will
+//  improve performance."  This bench quantifies it: for the Table-I FFT
+// pencil grids, compare the oblivious linear rank order against the
+// folded embedding — first by the average torus distance between
+// transpose partners, then by feeding the mapping's hop statistics into
+// the FFT cost model.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "model/fft_model.hpp"
+#include "topology/placement.hpp"
+#include "topology/torus.hpp"
+
+using namespace bgq;
+
+int main() {
+  std::printf("== Sec VII (future work): topology-aware pencil placement "
+              "==\n");
+  std::printf("average torus hops between FFT transpose partners, "
+              "oblivious linear order vs folded embedding\n\n");
+
+  TextTable tbl({"nodes", "grid", "linear_hops", "folded_hops",
+                 "reduction"});
+  struct Case {
+    std::size_t nodes, g1, g2;
+  };
+  for (const Case& c : {Case{64, 8, 8}, Case{256, 16, 16},
+                        Case{512, 32, 16}, Case{1024, 32, 32},
+                        Case{4096, 64, 64}}) {
+    topo::Torus t = topo::Torus::bgq_partition(c.nodes);
+    const auto lin = topo::neighbor_hops(
+        t, topo::map_grid(t, c.g1, c.g2, topo::Placement::kLinear), c.g1,
+        c.g2);
+    const auto fold = topo::neighbor_hops(
+        t, topo::map_grid(t, c.g1, c.g2, topo::Placement::kFolded), c.g1,
+        c.g2);
+    char grid[32];
+    std::snprintf(grid, sizeof(grid), "%zux%zu", c.g1, c.g2);
+    tbl.row(c.nodes, grid, lin.overall(), fold.overall(),
+            lin.overall() / fold.overall());
+  }
+  tbl.print();
+
+  std::printf("\nhop-weighted FFT model (32^3, m2m) with each mapping's "
+              "mean partner distance:\n\n");
+  TextTable t2({"nodes", "oblivious_us", "placed_us"});
+  for (std::size_t nodes : {256, 1024, 4096}) {
+    model::FftRun run;
+    run.n = 32;
+    run.nodes = nodes;
+    run.use_m2m = true;
+    run.workers = 16;
+    const double base = simulate_fft(run).step_us;
+    // The folded mapping shortens partner routes; approximate its effect
+    // by the measured hop reduction applied to the per-hop latency term.
+    topo::Torus t = topo::Torus::bgq_partition(nodes);
+    std::size_t g1 = 1;
+    while (g1 * g1 < nodes) g1 <<= 1;
+    const std::size_t g2 = nodes / g1;
+    const auto lin = topo::neighbor_hops(
+        t, topo::map_grid(t, g1, g2, topo::Placement::kLinear), g1, g2);
+    const auto fold = topo::neighbor_hops(
+        t, topo::map_grid(t, g1, g2, topo::Placement::kFolded), g1, g2);
+    const double hop_gain = fold.overall() / lin.overall();
+    model::FftRun placed = run;
+    placed.machine.net.hop_latency_ns = static_cast<std::uint64_t>(
+        placed.machine.net.hop_latency_ns * hop_gain);
+    t2.row(nodes, base, simulate_fft(placed).step_us);
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Distributed 3-D FFT demo: plant plane waves in a 16^3 grid spread over
+// 4 PEs, run the pencil-decomposed FFT with both transports, and locate
+// the spectral peaks — the workload behind Table I and the PME solver.
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <numbers>
+
+#include "common/timing.hpp"
+#include "converse/machine.hpp"
+#include "fft/pencil3d.hpp"
+#include "m2m/manytomany.hpp"
+
+using namespace bgq;
+
+namespace {
+
+constexpr std::size_t kN = 16;
+
+void fill_signal(fft::Pencil3DFFT& f3d, std::size_t G) {
+  // x-direction plane wave with frequency 3 plus a DC offset: the
+  // spectrum must show peaks at (0,0,0) and (+-3,0,0).
+  const std::size_t B = f3d.block();
+  for (cvs::PeRank p = 0; p < G * G; ++p) {
+    const std::size_t r = p / G;
+    fft::cplx* local = f3d.local_data(p);
+    for (std::size_t bx = 0; bx < B; ++bx) {
+      const double x = static_cast<double>(r * B + bx);
+      const double v =
+          0.5 + std::cos(2.0 * std::numbers::pi * 3.0 * x / kN);
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < kN; ++z)
+          local[f3d.z_index(bx, by, z)] = v;
+    }
+  }
+}
+
+void run(fft::Transport transport, const char* label) {
+  cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = cvs::Mode::kSmpCommThreads;
+  cfg.workers_per_process = 2;
+  cfg.comm_threads = 1;
+  cvs::Machine machine(cfg);
+  m2m::Coordinator coord(machine);
+  fft::Pencil3DFFT f3d(machine, kN, transport, &coord);
+  const std::size_t G = f3d.grid();
+  fill_signal(f3d, G);
+
+  std::atomic<double> us{0};
+  std::atomic<int> done{0};
+  machine.run([&](cvs::Pe& pe) {
+    Timer t;
+    f3d.forward(pe);
+    if (pe.rank() == 0) us.store(t.elapsed_us());
+    if (done.fetch_add(1) + 1 == static_cast<int>(G * G)) pe.exit_all();
+  });
+
+  std::printf("%s: forward 3D FFT of %zu^3 in %.0f us\n", label, kN,
+              us.load());
+  // The X layout leaves every PE with all kx for its (y, z) block; the
+  // peaks live at ky = kz = 0, which PE (0, 0) owns.
+  const fft::cplx* local = f3d.local_data(0);
+  std::printf("  spectrum magnitude along kx (ky=kz=0): ");
+  for (std::size_t kx = 0; kx < 8; ++kx) {
+    std::printf("%.0f ", std::abs(local[f3d.x_index(0, 0, kx)]));
+  }
+  std::printf("... expect peaks at kx=0 (DC) and kx=3\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Distributed pencil FFT demo (4 PEs in-process) ==\n\n");
+  run(fft::Transport::kP2P, "point-to-point transport  ");
+  run(fft::Transport::kM2M, "many-to-many transport    ");
+  return 0;
+}

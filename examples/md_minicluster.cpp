@@ -1,0 +1,71 @@
+// Mini-NAMD example: a scaled-down ApoA1-like solvated system simulated
+// with the full parallel pipeline — spatial patches over 4 PEs, halo
+// exchange, QPX-style nonbonded kernels, and many-to-many PME — printing
+// the per-cycle energy ledger (the same quantities NAMD logs).
+#include <atomic>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/timing.hpp"
+#include "converse/machine.hpp"
+#include "m2m/manytomany.hpp"
+#include "md/parallel_md.hpp"
+
+using namespace bgq;
+
+int main() {
+  cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = cvs::Mode::kSmpCommThreads;
+  cfg.workers_per_process = 2;
+  cfg.comm_threads = 1;
+  cvs::Machine machine(cfg);
+  m2m::Coordinator coord(machine);
+
+  // ApoA1-like density in a 24 A box (~1400 atoms) so the example runs
+  // in seconds; scale=1 would be the full 92k-atom system.
+  auto sys = md::apoa1_like(/*scale=*/90.0);
+  std::printf("== mini-NAMD: %zu atoms, box %.1f A, %zu bonds ==\n",
+              sys.natoms(), sys.box, sys.bonds.size());
+
+  md::MdConfig mdcfg;
+  mdcfg.cutoff = 8.0;
+  mdcfg.switch_dist = 7.0;
+  mdcfg.beta = 0.4;
+  mdcfg.pme_grid = 32;
+  mdcfg.pme_every = 4;  // the paper's multiple-timestepping setting
+  mdcfg.dt = 0.5;
+  mdcfg.transport = fft::Transport::kM2M;
+  md::ParallelMd sim(machine, &coord, std::move(sys), mdcfg);
+
+  for (cvs::PeRank r = 0; r < machine.pe_count(); ++r) {
+    std::printf("patch %u: %zu atoms\n", r, sim.local_atoms(r));
+  }
+
+  constexpr unsigned kSteps = 24;
+  std::atomic<double> wall_us{0};
+  std::atomic<int> done{0};
+  machine.run([&](cvs::Pe& pe) {
+    Timer t;
+    sim.run_steps(pe, kSteps);
+    if (pe.rank() == 0) wall_us.store(t.elapsed_us());
+    if (done.fetch_add(1) + 1 == static_cast<int>(machine.pe_count())) {
+      pe.exit_all();
+    }
+  });
+
+  std::printf("\n%u steps in %.1f ms (%.0f us/step)\n\n", kSteps,
+              wall_us.load() * 1e-3, wall_us.load() / kSteps);
+
+  TextTable tbl({"cycle", "bond", "angle", "vdw", "elec_real", "recip",
+                 "excl_corr", "kinetic", "total"});
+  for (std::size_t s = 0; s < sim.steps_logged(); ++s) {
+    const auto e = sim.total_energies(s);
+    tbl.row(s, e.bond, e.angle, e.vdw, e.elec_real, e.recip, e.excl_corr,
+            e.kinetic, e.total());
+  }
+  tbl.print();
+  std::printf("\n(energies in kcal/mol; 'total' should stay flat — NVE "
+              "conservation)\n");
+  return 0;
+}

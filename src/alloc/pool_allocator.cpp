@@ -1,0 +1,150 @@
+#include "alloc/pool_allocator.hpp"
+
+#include <atomic>
+#include <new>
+#include <stdexcept>
+
+#include "common/cacheline.hpp"
+
+namespace bgq::alloc {
+
+using detail::BufferHeader;
+using detail::class_bytes;
+using detail::kFreeMagic;
+using detail::kKindHeapDirect;
+using detail::kKindPool;
+using detail::kLiveMagic;
+using detail::kNumSizeClasses;
+using detail::size_class_for;
+
+namespace {
+
+BufferHeader* header_of(void* user) {
+  return reinterpret_cast<BufferHeader*>(static_cast<char*>(user) -
+                                         sizeof(BufferHeader));
+}
+
+void* raw_new(std::size_t user_bytes) {
+  return ::operator new(sizeof(BufferHeader) + user_bytes,
+                        std::align_val_t{16});
+}
+
+void raw_delete(BufferHeader* h) {
+  ::operator delete(h, std::align_val_t{16});
+}
+
+}  // namespace
+
+/// One L2 atomic pool per size class, owned by one thread.
+struct PoolAllocator::ThreadPools {
+  explicit ThreadPools(std::size_t slots)
+      : pools{queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots),
+              queue::L2AtomicQueue<void*>(slots)} {}
+
+  queue::L2AtomicQueue<void*> pools[kNumSizeClasses];
+
+  alignas(kL2Line) std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> heap_allocs{0};
+  std::atomic<std::uint64_t> heap_frees{0};
+};
+
+static_assert(kNumSizeClasses == 12,
+              "ThreadPools initializer list must match kNumSizeClasses");
+
+PoolAllocator::PoolAllocator(ThreadId nthreads, std::size_t pool_slots)
+    : nthreads_(nthreads), pool_slots_(pool_slots) {
+  if (nthreads == 0) throw std::invalid_argument("nthreads must be > 0");
+  pools_.reserve(nthreads);
+  for (ThreadId t = 0; t < nthreads; ++t) {
+    pools_.push_back(std::make_unique<ThreadPools>(pool_slots_));
+  }
+}
+
+PoolAllocator::~PoolAllocator() {
+  for (auto& tp : pools_) {
+    for (auto& pool : tp->pools) {
+      while (void* user = pool.try_dequeue()) raw_delete(header_of(user));
+    }
+  }
+}
+
+void* PoolAllocator::allocate(ThreadId tid, std::size_t bytes) {
+  const std::size_t cls = size_class_for(bytes);
+  ThreadPools& mine = *pools_[tid];
+
+  if (cls < kNumSizeClasses) {
+    // Lockless dequeue from this thread's own pool (we are the single
+    // consumer of our own pools).
+    if (void* user = mine.pools[cls].try_dequeue()) {
+      auto* h = header_of(user);
+      h->magic = kLiveMagic;
+      h->owner = tid;  // ownership is stable, but keep the header honest
+      mine.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      return user;
+    }
+  }
+
+  const std::size_t user_bytes =
+      cls < kNumSizeClasses ? class_bytes(cls) : bytes;
+  void* user = static_cast<char*>(raw_new(user_bytes)) + sizeof(BufferHeader);
+  auto* h = header_of(user);
+  h->owner = tid;
+  h->size_class = static_cast<std::uint16_t>(cls);
+  h->kind = cls < kNumSizeClasses ? kKindPool : kKindHeapDirect;
+  h->magic = kLiveMagic;
+  mine.heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return user;
+}
+
+void PoolAllocator::deallocate(ThreadId tid, void* p) {
+  auto* h = header_of(p);
+  if (h->magic != kLiveMagic) throw std::logic_error("bad free (pool)");
+
+  if (h->kind == kKindHeapDirect) {
+    h->magic = kFreeMagic;
+    raw_delete(h);
+    return;
+  }
+
+  // Lockless enqueue to the pool of the thread that created the buffer —
+  // any thread may do this concurrently.  Past the threshold (ring full),
+  // free to the heap.  Mark the buffer free *before* publishing it so a
+  // double free is caught whether the buffer is pooled or re-issued.
+  h->magic = kFreeMagic;
+  ThreadPools& owner = *pools_[h->owner];
+  if (!owner.pools[h->size_class].try_enqueue(p)) {
+    raw_delete(h);
+    pools_[tid]->heap_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t PoolAllocator::pool_hits() const {
+  std::uint64_t n = 0;
+  for (auto& tp : pools_) n += tp->pool_hits.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t PoolAllocator::heap_allocs() const {
+  std::uint64_t n = 0;
+  for (auto& tp : pools_)
+    n += tp->heap_allocs.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t PoolAllocator::heap_frees() const {
+  std::uint64_t n = 0;
+  for (auto& tp : pools_) n += tp->heap_frees.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace bgq::alloc

@@ -1,0 +1,52 @@
+// The paper's lockless pool allocator (§III-B).
+//
+// "To eliminate this lock contention on the free call, we enabled an L2
+//  atomic queue for each thread to store a pool of temporary buffers.  Free
+//  calls can do a lockless enqueue to the L2 atomic queue belonging to the
+//  thread that created the buffer.  There is a threshold for the memory
+//  pools after which buffers are freed to the memory heap.  Future malloc
+//  calls directly dequeue from the thread's L2 atomic pool via a lockless
+//  dequeue."
+//
+// Mapping onto our queue primitive: each (thread, size-class) pair owns an
+// L2AtomicQueue whose *producers* are any threads freeing buffers that this
+// thread allocated, and whose single *consumer* is the owning thread's
+// allocate path — exactly the MPSC shape the queue implements.  A free that
+// finds the pool full (the threshold) releases the buffer to the heap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "queue/l2_atomic_queue.hpp"
+
+namespace bgq::alloc {
+
+/// Per-thread lockless pool allocator.
+class PoolAllocator final : public IAllocator {
+ public:
+  /// `pool_slots` is the per-(thread, class) pool threshold — buffers
+  /// beyond it are freed to the heap.
+  explicit PoolAllocator(ThreadId nthreads, std::size_t pool_slots = 512);
+  ~PoolAllocator() override;
+
+  void* allocate(ThreadId tid, std::size_t bytes) override;
+  void deallocate(ThreadId tid, void* p) override;
+  ThreadId thread_count() const override { return nthreads_; }
+
+  /// Observability for tests/benches.
+  std::uint64_t pool_hits() const;   ///< allocs served from a pool
+  std::uint64_t heap_allocs() const; ///< allocs that went to the heap
+  std::uint64_t heap_frees() const;  ///< frees spilled past the threshold
+
+ private:
+  struct ThreadPools;
+
+  const ThreadId nthreads_;
+  const std::size_t pool_slots_;
+  std::vector<std::unique_ptr<ThreadPools>> pools_;  // one per thread
+};
+
+}  // namespace bgq::alloc

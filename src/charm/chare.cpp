@@ -1,0 +1,127 @@
+#include "charm/chare.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgq::charm {
+
+namespace {
+
+struct EntryHeader {
+  std::uint16_t array_id;
+  std::uint16_t entry;
+  std::uint32_t element;
+};
+
+struct ReduceHeader {
+  std::uint16_t array_id;
+  std::uint16_t pad = 0;
+  double value;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EntryContext
+// ---------------------------------------------------------------------------
+
+std::size_t EntryContext::array_size() const noexcept {
+  return array_.size();
+}
+
+void EntryContext::send(std::size_t to, int entry, const void* data,
+                        std::size_t bytes) {
+  array_.send_from(pe_, to, entry, data, bytes);
+}
+
+void EntryContext::broadcast(int entry, const void* data,
+                             std::size_t bytes) {
+  for (std::size_t e = 0; e < array_.size(); ++e) {
+    array_.send_from(pe_, e, entry, data, bytes);
+  }
+}
+
+void EntryContext::contribute(double value) {
+  array_.contribute(pe_, value);
+}
+
+// ---------------------------------------------------------------------------
+// ChareArray
+// ---------------------------------------------------------------------------
+
+ChareArray::ChareArray(Runtime& rt, cvs::Machine& machine, std::size_t n,
+                       std::uint16_t id, Factory factory)
+    : rt_(rt), machine_(&machine), n_(n), id_(id) {
+  elements_.resize(n);
+  for (std::size_t e = 0; e < n; ++e) elements_[e] = factory(e);
+}
+
+void ChareArray::send_from(cvs::Pe& pe, std::size_t to, int entry,
+                           const void* data, std::size_t bytes) {
+  if (to >= n_) throw std::out_of_range("chare element out of range");
+  cvs::Message* m =
+      pe.alloc_message(sizeof(EntryHeader) + bytes, rt_.handler_);
+  EntryHeader hdr{id_, static_cast<std::uint16_t>(entry),
+                  static_cast<std::uint32_t>(to)};
+  std::memcpy(m->payload(), &hdr, sizeof(hdr));
+  if (bytes != 0) {
+    std::memcpy(m->payload() + sizeof(hdr), data, bytes);
+  }
+  pe.send_message(home(to), m);
+}
+
+void ChareArray::deliver(cvs::Pe& pe, std::size_t elem, int entry,
+                         const void* data, std::size_t bytes) {
+  EntryContext ctx(*this, elem, pe);
+  elements_[elem]->entry(entry, data, bytes, ctx);
+}
+
+void ChareArray::contribute(cvs::Pe& pe, double value) {
+  cvs::Message* m =
+      pe.alloc_message(sizeof(ReduceHeader), rt_.reduce_handler_);
+  ReduceHeader hdr{id_, 0, value};
+  std::memcpy(m->payload(), &hdr, sizeof(hdr));
+  pe.send_message(0, m);  // reductions root on PE 0
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(cvs::Machine& machine) : machine_(machine) {
+  handler_ = machine.register_handler([this](cvs::Pe& pe,
+                                             cvs::Message* m) {
+    EntryHeader hdr;
+    std::memcpy(&hdr, m->payload(), sizeof(hdr));
+    ChareArray& arr = *arrays_[hdr.array_id];
+    arr.deliver(pe, hdr.element, hdr.entry, m->payload() + sizeof(hdr),
+                m->payload_bytes() - sizeof(hdr));
+    pe.free_message(m);
+  });
+
+  reduce_handler_ = machine.register_handler(
+      [this](cvs::Pe& pe, cvs::Message* m) {
+        ReduceHeader hdr;
+        std::memcpy(&hdr, m->payload(), sizeof(hdr));
+        pe.free_message(m);
+        ChareArray& arr = *arrays_[hdr.array_id];
+        // Runs only on PE 0: single-threaded reduction fold.
+        arr.red_sum_ += hdr.value;
+        if (++arr.red_count_ == arr.size()) {
+          const double total = arr.red_sum_;
+          arr.red_sum_ = 0;
+          arr.red_count_ = 0;
+          if (arr.reduction_client_) arr.reduction_client_(total, pe);
+        }
+      });
+}
+
+ChareArray& Runtime::create_array(std::size_t n,
+                                  ChareArray::Factory factory) {
+  const auto id = static_cast<std::uint16_t>(arrays_.size());
+  arrays_.push_back(std::unique_ptr<ChareArray>(
+      new ChareArray(*this, machine_, n, id, std::move(factory))));
+  return *arrays_.back();
+}
+
+}  // namespace bgq::charm

@@ -1,0 +1,131 @@
+// Thin Charm++-style chare layer over the Converse runtime.
+//
+// The paper's contribution is the machine layer underneath Charm++; this
+// module provides the programming-model surface a Charm++ user sees —
+// chare arrays with entry methods, location-transparent sends, broadcasts
+// and sum-reductions — so the examples read like Charm++ programs.  The
+// load "balancer" is a static round-robin placement (element e lives on
+// PE e mod P), which is what NAMD-style static decompositions reduce to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "converse/machine.hpp"
+
+namespace bgq::charm {
+
+class ChareArray;
+class Runtime;
+
+/// Context passed to an entry method: the element's identity plus the
+/// messaging verbs available inside a chare.
+class EntryContext {
+ public:
+  EntryContext(ChareArray& array, std::size_t index, cvs::Pe& pe)
+      : array_(array), index_(index), pe_(pe) {}
+
+  std::size_t index() const noexcept { return index_; }
+  std::size_t array_size() const noexcept;
+  cvs::Pe& pe() noexcept { return pe_; }
+
+  /// Asynchronous method invocation on another element.
+  void send(std::size_t to, int entry, const void* data, std::size_t bytes);
+
+  /// Invoke `entry` on every element (including self).
+  void broadcast(int entry, const void* data, std::size_t bytes);
+
+  /// Contribute to a sum reduction; when all elements of the array have
+  /// contributed, the runtime delivers the total to the registered
+  /// reduction client.
+  void contribute(double value);
+
+ private:
+  ChareArray& array_;
+  std::size_t index_;
+  cvs::Pe& pe_;
+};
+
+/// Base class for user chares.
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  /// Entry-method dispatch: `entry` selects the method, data is the
+  /// marshalled parameters (valid only during the call).
+  virtual void entry(int entry, const void* data, std::size_t bytes,
+                     EntryContext& ctx) = 0;
+};
+
+/// A distributed array of chares.
+class ChareArray {
+ public:
+  using Factory = std::function<std::unique_ptr<Chare>(std::size_t)>;
+  using ReductionClient = std::function<void(double, cvs::Pe&)>;
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// PE owning element e (static round-robin placement).
+  cvs::PeRank home(std::size_t e) const {
+    return static_cast<cvs::PeRank>(e % machine_->pe_count());
+  }
+
+  /// Register the callback that receives completed sum reductions (runs
+  /// on PE 0).  Set before Machine::run().
+  void set_reduction_client(ReductionClient fn) {
+    reduction_client_ = std::move(fn);
+  }
+
+  /// Send from outside any chare (e.g. from the init function).
+  void send_from(cvs::Pe& pe, std::size_t to, int entry, const void* data,
+                 std::size_t bytes);
+
+ private:
+  friend class Runtime;
+  friend class EntryContext;
+
+  ChareArray(Runtime& rt, cvs::Machine& machine, std::size_t n,
+             std::uint16_t id, Factory factory);
+
+  void deliver(cvs::Pe& pe, std::size_t elem, int entry, const void* data,
+               std::size_t bytes);
+  void contribute(cvs::Pe& pe, double value);
+
+  Runtime& rt_;
+  cvs::Machine* machine_;
+  std::size_t n_;
+  std::uint16_t id_;
+  std::vector<std::unique_ptr<Chare>> elements_;  // by element index
+
+  // Reduction state (owned by PE 0's thread via messages).
+  ReductionClient reduction_client_;
+  double red_sum_ = 0;
+  std::size_t red_count_ = 0;
+};
+
+/// Owns the chare arrays of one Machine and the Converse handler they
+/// share.  Create before Machine::run(); create all arrays before run().
+class Runtime {
+ public:
+  explicit Runtime(cvs::Machine& machine);
+
+  /// Create an array of `n` chares; `factory(i)` builds element i.
+  ChareArray& create_array(std::size_t n, ChareArray::Factory factory);
+
+  cvs::Machine& machine() noexcept { return machine_; }
+
+ private:
+  friend class ChareArray;
+  friend class EntryContext;
+
+  cvs::Machine& machine_;
+  cvs::HandlerId handler_;
+  cvs::HandlerId reduce_handler_;
+  std::vector<std::unique_ptr<ChareArray>> arrays_;
+};
+
+}  // namespace bgq::charm

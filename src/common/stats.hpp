@@ -1,0 +1,103 @@
+// Streaming statistics and simple fixed-bucket histograms used by the
+// benchmark harnesses and the discrete-event simulator's reporting layer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bgq {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                        static_cast<double>(o.n_) / total;
+    mean_ += d * static_cast<double>(o.n_) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects raw samples; supports exact percentiles.  Intended for latency
+/// distributions with up to a few million samples.
+class SampleSet {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Exact percentile p in [0, 100]; sorts a copy lazily.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> v(samples_);
+    std::sort(v.begin(), v.end());
+    const double idx =
+        (p / 100.0) * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+  double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  const std::vector<double>& raw() const noexcept { return samples_; }
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bgq

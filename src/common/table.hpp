@@ -1,0 +1,67 @@
+// Minimal fixed-width text-table printer so every bench binary reports the
+// same rows/columns the paper's tables and figures use, in aligned form.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bgq {
+
+/// Accumulates rows of strings and prints them with per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; cells convertible via operator<< are accepted.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(cells));
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        os << "  " << std::setw(static_cast<int>(w[c])) << cell;
+      }
+      os << '\n';
+    };
+    line(header_);
+    std::size_t total = 0;
+    for (auto x : w) total += x + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+  static std::string to_cell(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgq

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers for benchmarks and the functional runtime.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bgq {
+
+/// Monotonic nanoseconds since an unspecified epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic microseconds as a double (convenient for reporting).
+inline double now_us() noexcept { return static_cast<double>(now_ns()) * 1e-3; }
+
+/// Simple scoped stopwatch.
+class Timer {
+ public:
+  Timer() : start_(now_ns()) {}
+
+  void reset() noexcept { start_ = now_ns(); }
+
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_us() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-3;
+  }
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace bgq

@@ -1,0 +1,84 @@
+// Machine configuration: the paper's execution modes (§III).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/spin.hpp"
+#include "net/params.hpp"
+
+namespace bgq::cvs {
+
+/// The three Charm++ modes the paper studies.
+enum class Mode {
+  kNonSmp,          ///< one PE per process; PE does compute + comm
+  kSmp,             ///< one multi-worker process per node, workers advance
+                    ///< their own PAMI contexts
+  kSmpCommThreads,  ///< one process per node, dedicated comm threads
+};
+
+struct MachineConfig {
+  /// Physical nodes (torus size).  The functional runtime runs real host
+  /// threads, so keep nodes * threads modest; machine scale is src/sim.
+  std::size_t nodes = 2;
+
+  Mode mode = Mode::kSmp;
+
+  /// Worker PEs per process.  In kNonSmp this is forced to 1 and
+  /// `processes_per_node` processes share each node.
+  unsigned workers_per_process = 2;
+
+  /// Processes per node (kNonSmp only; 1 otherwise).
+  unsigned processes_per_node = 2;
+
+  /// Comm threads per process (kSmpCommThreads only).  The paper's rule of
+  /// thumb: one per four worker threads.
+  unsigned comm_threads = 1;
+
+  /// Use L2-atomic lockless queues for PE queues (Fig. 8 ablation: false
+  /// swaps in the mutex queue).
+  bool use_l2_atomics = true;
+
+  /// Use the lockless pool allocator (false: GNU-arena-style baseline).
+  bool use_pool_allocator = true;
+
+  /// Idle-poll pacing (§III-D ablation).  Default OsYield: this host has
+  /// fewer cores than the runtime has threads, so yielding is what keeps
+  /// functional runs live; benches set L2Paced/HotSpin explicitly.
+  IdlePollPolicy idle_policy = IdlePollPolicy::kOsYield;
+
+  /// Messages up to this payload size go eager; larger use the rendezvous
+  /// rget protocol (§III: "For large messages, we explored a rendezvous
+  /// protocol").
+  std::size_t eager_max = 4096;
+
+  /// Record per-PE busy/idle event traces (Fig. 9/10 time profiles).
+  bool trace_utilization = false;
+
+  net::NetworkParams net{};
+
+  // ---- derived ----------------------------------------------------------
+  unsigned effective_processes_per_node() const {
+    return mode == Mode::kNonSmp ? processes_per_node : 1;
+  }
+  unsigned effective_workers_per_process() const {
+    return mode == Mode::kNonSmp ? 1 : workers_per_process;
+  }
+  unsigned effective_comm_threads() const {
+    return mode == Mode::kSmpCommThreads ? comm_threads : 0;
+  }
+  std::size_t process_count() const {
+    return nodes * effective_processes_per_node();
+  }
+  std::size_t pe_count() const {
+    return process_count() * effective_workers_per_process();
+  }
+  /// PAMI contexts per process: one per comm thread when they exist,
+  /// otherwise one per worker (each worker advances its own).
+  unsigned contexts_per_process() const {
+    return effective_comm_threads() != 0 ? effective_comm_threads()
+                                         : effective_workers_per_process();
+  }
+};
+
+}  // namespace bgq::cvs

@@ -1,0 +1,398 @@
+#include "converse/machine.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "alloc/arena_allocator.hpp"
+#include "alloc/pool_allocator.hpp"
+#include "common/timing.hpp"
+
+namespace bgq::cvs {
+
+namespace {
+
+// PAMI dispatch ids used by the machine layer.
+constexpr std::uint16_t kDispatchEager = 1;
+constexpr std::uint16_t kDispatchRzvReq = 2;
+constexpr std::uint16_t kDispatchRzvAck = 3;
+
+/// Rendezvous control payload: the source message, read back by rget and
+/// freed on ack (same address space stands in for the memory-region
+/// handle + offset the real protocol ships).
+struct RzvToken {
+  Message* src_msg;
+};
+
+}  // namespace
+
+thread_local alloc::ThreadId Process::tls_tid_ = 0;
+
+// ---------------------------------------------------------------------------
+// Pe
+// ---------------------------------------------------------------------------
+
+Pe::Pe(Process& process, PeRank rank, unsigned local_index)
+    : process_(process), rank_(rank), local_(local_index) {
+  const auto& cfg = process_.machine().config();
+  if (cfg.use_l2_atomics) {
+    l2_queue_ = std::make_unique<queue::L2AtomicQueue<void*>>(2048);
+  } else {
+    mutex_queue_ = std::make_unique<queue::MutexQueue<void*>>();
+  }
+}
+
+Machine& Pe::machine() noexcept { return process_.machine(); }
+
+Message* Pe::alloc_message(std::size_t payload_bytes, HandlerId handler) {
+  void* raw = process_.allocator().allocate(
+      Process::current_tid(), sizeof(MsgHeader) + payload_bytes);
+  auto* m = Message::from_raw(raw);
+  m->header() = MsgHeader{};
+  m->header().payload_bytes = static_cast<std::uint32_t>(payload_bytes);
+  m->header().handler = handler;
+  m->header().src_pe = rank_;
+  return m;
+}
+
+void Pe::free_message(Message* m) {
+  process_.allocator().deallocate(Process::current_tid(), m->raw());
+}
+
+void Pe::send_message(PeRank dst, Message* m) {
+  m->header().dst_pe = dst;
+  m->header().src_pe = rank_;
+  ++stats_.messages_sent;
+  Machine& mach = machine();
+  if (mach.process_of(dst) == mach.process_of(rank_)) {
+    // Same SMP process: pointer exchange straight into the peer's queue.
+    ++stats_.intra_process_sends;
+    mach.pe(dst).enqueue(m);
+    return;
+  }
+  ++stats_.network_sends;
+  process_.net_send(*this, dst, m);
+}
+
+void Pe::send(PeRank dst, HandlerId handler, const void* payload,
+              std::size_t bytes) {
+  Message* m = alloc_message(bytes, handler);
+  if (bytes != 0) std::memcpy(m->payload(), payload, bytes);
+  send_message(dst, m);
+}
+
+void Pe::broadcast(HandlerId handler, const void* payload, std::size_t bytes,
+                   bool skip_self) {
+  const auto n = static_cast<PeRank>(machine().pe_count());
+  for (PeRank p = 0; p < n; ++p) {
+    if (skip_self && p == rank_) continue;
+    send(p, handler, payload, bytes);
+  }
+}
+
+void Pe::enqueue(Message* m) {
+  if (l2_queue_) {
+    l2_queue_->enqueue(m->raw());
+  } else {
+    mutex_queue_->enqueue(m->raw());
+  }
+}
+
+void Pe::execute(Message* m) {
+  const HandlerId h = m->header().handler;
+  const std::uint64_t t0 = now_ns();
+  if (trace_enabled_) trace_.push_back({t0, true, h});
+  machine().handler(h)(*this, m);
+  const std::uint64_t t1 = now_ns();
+  stats_.busy_ns += t1 - t0;
+  ++stats_.messages_executed;
+  if (trace_enabled_) trace_.push_back({t1, false, h});
+}
+
+bool Pe::pump_one() {
+  void* raw = l2_queue_ ? l2_queue_->try_dequeue()
+                        : mutex_queue_->try_dequeue();
+  if (raw != nullptr) {
+    execute(Message::from_raw(raw));
+    return true;
+  }
+  // No queued message: progress the network if this worker owns a context
+  // (non-SMP and SMP-without-comm-threads modes).
+  if (owned_context_ != nullptr) {
+    return owned_context_->advance() != 0;
+  }
+  return false;
+}
+
+void Pe::scheduler_loop() {
+  Machine& mach = machine();
+  const IdlePollPolicy policy = mach.config().idle_policy;
+  while (!mach.stopping()) {
+    if (pump_one()) continue;
+    // Idle poll (§III-D): pace the re-probe so sibling hardware threads
+    // keep the core's pipeline (emulated by pause bursts / yields).
+    ++stats_.idle_probes;
+    switch (policy) {
+      case IdlePollPolicy::kHotSpin: cpu_relax(); break;
+      case IdlePollPolicy::kL2Paced: l2_paced_delay(); break;
+      case IdlePollPolicy::kOsYield: std::this_thread::yield(); break;
+    }
+  }
+}
+
+void Pe::exit_all() { machine().request_stop(); }
+
+void Pe::barrier() { machine().worker_barrier(); }
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Machine& machine, pami::EndpointId endpoint)
+    : machine_(machine), endpoint_(endpoint) {
+  const MachineConfig& cfg = machine.config();
+  const unsigned workers = cfg.effective_workers_per_process();
+  const unsigned commthreads = cfg.effective_comm_threads();
+  const unsigned nthreads = workers + std::max(1u, commthreads);
+
+  if (cfg.use_pool_allocator) {
+    allocator_ = std::make_unique<alloc::PoolAllocator>(nthreads);
+  } else {
+    allocator_ = std::make_unique<alloc::ArenaAllocator>(nthreads);
+  }
+
+  client_ = std::make_unique<pami::Client>(machine.fabric(), endpoint,
+                                           cfg.contexts_per_process());
+  register_dispatches();
+
+  pes_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const auto rank = static_cast<PeRank>(
+        static_cast<std::size_t>(endpoint) * workers + w);
+    pes_.push_back(std::make_unique<Pe>(*this, rank, w));
+    pes_.back()->trace_enabled_ = cfg.trace_utilization;
+    if (commthreads == 0) {
+      // Each worker advances its own context.
+      pes_.back()->owned_context_ = &client_->context(w);
+    }
+  }
+}
+
+void Process::register_dispatches() {
+  client_->set_dispatch(kDispatchEager, [this](const pami::DispatchArgs& a) {
+    on_eager(a);
+  });
+  client_->set_dispatch(kDispatchRzvReq,
+                        [this](const pami::DispatchArgs& a) {
+                          on_rendezvous_req(a);
+                        });
+  client_->set_dispatch(kDispatchRzvAck,
+                        [this](const pami::DispatchArgs& a) {
+                          on_rendezvous_ack(a);
+                        });
+}
+
+void Process::net_send(Pe& src_pe, PeRank dst, Message* m) {
+  if (comm_pool_ != nullptr) {
+    // Offload to a comm thread; spread this worker's traffic over all of
+    // them (§III-C even distribution).
+    const unsigned idx = pami::CommThreadPool::route(
+        src_pe.local_index(), src_pe.send_seq_++,
+        client_->context_count());
+    pami::Context& ctx = client_->context(idx);
+    ctx.post_work([this, &ctx, dst, m] { send_on_context(ctx, dst, m); });
+    return;
+  }
+  send_on_context(*src_pe.owned_context_, dst, m);
+}
+
+void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
+  const auto dst_ep =
+      static_cast<pami::EndpointId>(machine_.process_of(dst));
+  const auto dest_ctx = static_cast<std::uint16_t>(
+      m->header().src_pe % machine_.config().contexts_per_process());
+  const std::size_t bytes = m->payload_bytes();
+
+  pami::SendParams p;
+  p.dest = dst_ep;
+  p.dest_context = dest_ctx;
+  p.metadata = &m->header();
+  p.metadata_bytes = sizeof(MsgHeader);
+
+  if (bytes > machine_.config().eager_max) {
+    // Rendezvous (§III): ship a short request carrying the source buffer
+    // token; the receiver rgets the payload and acks so we can free.
+    RzvToken token{m};
+    p.dispatch = kDispatchRzvReq;
+    p.payload = &token;
+    p.payload_bytes = sizeof(token);
+    ctx.send_immediate(p);
+    return;  // m stays alive until the ack
+  }
+
+  p.dispatch = kDispatchEager;
+  p.payload = m->payload();
+  p.payload_bytes = bytes;
+  if (sizeof(MsgHeader) + bytes <= pami::Context::kImmediateMax) {
+    ctx.send_immediate(p);
+  } else {
+    ctx.send(p);
+  }
+  // Both send flavours copied the payload: the message is free to go.
+  allocator_->deallocate(current_tid(), m->raw());
+}
+
+void Process::on_eager(const pami::DispatchArgs& a) {
+  MsgHeader hdr;
+  std::memcpy(&hdr, a.metadata, sizeof(hdr));
+  void* raw = allocator_->allocate(current_tid(),
+                                   sizeof(MsgHeader) + a.payload_bytes);
+  auto* m = Message::from_raw(raw);
+  m->header() = hdr;
+  if (a.payload_bytes != 0) {
+    std::memcpy(m->payload(), a.payload, a.payload_bytes);
+  }
+  deliver(m);
+}
+
+void Process::deliver(Message* m) {
+  const unsigned local = machine_.local_of(m->header().dst_pe);
+  if (comm_pool_ == nullptr && pes_.size() == 1) {
+    // Non-SMP: the advancing thread *is* the PE; invoke the handler inline
+    // straight from the network poll (no cross-thread queue — the source
+    // of non-SMP's latency edge in Fig. 4).
+    pes_[0]->execute(m);
+    return;
+  }
+  pes_[local]->enqueue(m);
+}
+
+void Process::on_rendezvous_req(const pami::DispatchArgs& a) {
+  MsgHeader hdr;
+  std::memcpy(&hdr, a.metadata, sizeof(hdr));
+  RzvToken token;
+  std::memcpy(&token, a.payload, sizeof(token));
+
+  void* raw = allocator_->allocate(current_tid(),
+                                   sizeof(MsgHeader) + hdr.payload_bytes);
+  auto* m = Message::from_raw(raw);
+  m->header() = hdr;
+
+  pami::Context* ctx = a.context;
+  const pami::EndpointId origin = a.origin;
+  const auto src_ctx = static_cast<std::uint16_t>(
+      hdr.src_pe % machine_.config().contexts_per_process());
+
+  // Pull the payload from the source buffer, then hand the message to the
+  // destination PE and ack the sender so it can free.
+  ctx->rget(origin,
+            reinterpret_cast<const std::byte*>(token.src_msg->payload()),
+            m->payload(), hdr.payload_bytes,
+            [this, ctx, origin, src_ctx, token, m] {
+              deliver(m);
+              pami::SendParams ack;
+              ack.dest = origin;
+              ack.dest_context = src_ctx;
+              ack.dispatch = kDispatchRzvAck;
+              ack.payload = &token;
+              ack.payload_bytes = sizeof(token);
+              ctx->send_immediate(ack);
+            });
+}
+
+void Process::on_rendezvous_ack(const pami::DispatchArgs& a) {
+  RzvToken token;
+  std::memcpy(&token, a.payload, sizeof(token));
+  allocator_->deallocate(current_tid(), token.src_msg->raw());
+}
+
+void Process::start_comm_threads(unsigned n) {
+  std::vector<pami::Context*> ctxs;
+  for (unsigned i = 0; i < client_->context_count(); ++i) {
+    ctxs.push_back(&client_->context(i));
+  }
+  const unsigned workers = worker_count();
+  comm_pool_ = std::make_unique<pami::CommThreadPool>(
+      std::move(ctxs), n, [workers](unsigned comm_tid) {
+        // Comm threads use allocator slots after the workers'.
+        set_current_tid(workers + comm_tid);
+      });
+}
+
+void Process::stop_comm_threads() {
+  if (comm_pool_) comm_pool_->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg), torus_(topo::Torus::bgq_partition(cfg.nodes)) {
+  fabric_ = std::make_unique<net::Fabric>(
+      torus_, cfg_.net, cfg_.contexts_per_process(),
+      cfg_.effective_processes_per_node());
+  const std::size_t nproc = cfg_.process_count();
+  processes_.reserve(nproc);
+  for (std::size_t p = 0; p < nproc; ++p) {
+    processes_.push_back(std::make_unique<Process>(
+        *this, static_cast<pami::EndpointId>(p)));
+  }
+}
+
+Machine::~Machine() {
+  for (auto& p : processes_) p->stop_comm_threads();
+}
+
+HandlerId Machine::register_handler(HandlerFn fn) {
+  handlers_.push_back(std::move(fn));
+  return static_cast<HandlerId>(handlers_.size() - 1);
+}
+
+void Machine::worker_barrier() { barrier_->arrive_and_wait(); }
+
+void Machine::run(const std::function<void(Pe&)>& init) {
+  stop_.store(false, std::memory_order_release);
+  barrier_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(pe_count()));
+
+  const unsigned commthreads = cfg_.effective_comm_threads();
+  if (commthreads != 0) {
+    for (auto& p : processes_) p->start_comm_threads(commthreads);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(pe_count());
+  for (auto& proc : processes_) {
+    for (unsigned w = 0; w < proc->worker_count(); ++w) {
+      Pe* pe = &proc->pe(w);
+      workers.emplace_back([this, pe, w, &init] {
+        Process::set_current_tid(w);
+        worker_barrier();  // everyone exists before any traffic flows
+        init(*pe);
+        pe->scheduler_loop();
+      });
+    }
+  }
+  for (auto& t : workers) t.join();
+
+  for (auto& p : processes_) p->stop_comm_threads();
+}
+
+PeStats Machine::aggregate_stats() const {
+  PeStats total;
+  for (const auto& proc : processes_) {
+    for (unsigned w = 0; w < proc->worker_count(); ++w) {
+      const PeStats& s =
+          const_cast<Process&>(*proc).pe(w).stats();
+      total.messages_executed += s.messages_executed;
+      total.messages_sent += s.messages_sent;
+      total.intra_process_sends += s.intra_process_sends;
+      total.network_sends += s.network_sends;
+      total.idle_probes += s.idle_probes;
+      total.busy_ns += s.busy_ns;
+    }
+  }
+  return total;
+}
+
+}  // namespace bgq::cvs

@@ -1,0 +1,264 @@
+// The Converse-like machine layer (§III): processes, worker PEs, the
+// scheduler loop, intra-node pointer-exchange queues, and the PAMI machine
+// layer with eager + rendezvous protocols.
+//
+// A Machine hosts every simulated node of the job in one host process.
+// Layout:
+//
+//   Machine
+//     └─ Process (one per Charm++ OS process; = PAMI endpoint)
+//          ├─ pami::Client (contexts = comm threads, or one per worker)
+//          ├─ IAllocator   (pool or arena; shared by the process's threads)
+//          ├─ Pe x W       (worker threads, each with its scheduler queue)
+//          └─ CommThreadPool (kSmpCommThreads mode only)
+//
+// Pe ranks are global and dense: process p owns PEs [p*W, (p+1)*W).
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator.hpp"
+#include "converse/config.hpp"
+#include "converse/message.hpp"
+#include "net/fabric.hpp"
+#include "pami/comm_thread.hpp"
+#include "pami/pami.hpp"
+#include "queue/l2_atomic_queue.hpp"
+#include "queue/mutex_queue.hpp"
+#include "topology/torus.hpp"
+
+namespace bgq::cvs {
+
+class Machine;
+class Process;
+class Pe;
+
+/// A Converse handler.  Owns the message: it must either free it
+/// (pe.free_message) or forward it (pe.send_message).
+using HandlerFn = std::function<void(Pe&, Message*)>;
+
+/// Utilization trace event (Fig. 9/10 time profiles).
+struct TraceEvent {
+  std::uint64_t t_ns;   ///< host time
+  bool busy;            ///< true: handler started; false: handler finished
+  HandlerId handler;
+};
+
+/// Per-PE counters.
+struct PeStats {
+  std::uint64_t messages_executed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t intra_process_sends = 0;
+  std::uint64_t network_sends = 0;
+  std::uint64_t idle_probes = 0;
+  std::uint64_t busy_ns = 0;
+};
+
+/// One worker processing element.
+class Pe {
+ public:
+  Pe(Process& process, PeRank rank, unsigned local_index);
+
+  Pe(const Pe&) = delete;
+  Pe& operator=(const Pe&) = delete;
+
+  PeRank rank() const noexcept { return rank_; }
+  unsigned local_index() const noexcept { return local_; }
+  Process& process() noexcept { return process_; }
+  Machine& machine() noexcept;
+
+  // ---- messaging (the CmiSyncSend family) --------------------------------
+
+  /// Allocate a message with room for `payload_bytes`.
+  Message* alloc_message(std::size_t payload_bytes, HandlerId handler);
+
+  /// Free a message (handlers call this when done).
+  void free_message(Message* m);
+
+  /// Send-and-free: ownership of `m` passes to the runtime.
+  void send_message(PeRank dst, Message* m);
+
+  /// Copying send convenience: allocates, copies `bytes`, sends.
+  void send(PeRank dst, HandlerId handler, const void* payload,
+            std::size_t bytes);
+
+  /// Send a copy to every PE (including self unless skip_self).
+  void broadcast(HandlerId handler, const void* payload, std::size_t bytes,
+                 bool skip_self = false);
+
+  /// Direct enqueue to this PE (used by dispatch callbacks and intra-node
+  /// senders; thread-safe MPSC).
+  void enqueue(Message* m);
+
+  // ---- scheduler ---------------------------------------------------------
+
+  /// Process queued messages until the machine stops.
+  void scheduler_loop();
+
+  /// Run at most one queued message; returns true if one ran.  Lets user
+  /// init functions interleave their own work with message processing.
+  bool pump_one();
+
+  /// Ask every PE's scheduler to return (CsdExitScheduler, machine-wide).
+  void exit_all();
+
+  /// Machine-wide worker barrier (benchmark phase alignment).
+  void barrier();
+
+  const PeStats& stats() const noexcept { return stats_; }
+  const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
+
+  /// The PAMI context this worker advances itself (modes without comm
+  /// threads), or nullptr when comm threads own all contexts.  Exposed for
+  /// layers (many-to-many, FFT) that inject bursts directly.
+  pami::Context* owned_context() noexcept { return owned_context_; }
+
+ private:
+  friend class Process;
+  friend class Machine;
+
+  void execute(Message* m);
+  bool queue_empty_probe();
+
+  Process& process_;
+  const PeRank rank_;
+  const unsigned local_;
+  bool trace_enabled_ = false;
+
+  // One of the two is active, per MachineConfig::use_l2_atomics.
+  std::unique_ptr<queue::L2AtomicQueue<void*>> l2_queue_;
+  std::unique_ptr<queue::MutexQueue<void*>> mutex_queue_;
+
+  // Context this worker advances (modes without comm threads), else null.
+  pami::Context* owned_context_ = nullptr;
+
+  PeStats stats_;
+  std::vector<TraceEvent> trace_;
+  std::uint64_t send_seq_ = 0;  // round-robin context routing
+};
+
+/// One Charm++ OS process (PAMI endpoint).
+class Process {
+ public:
+  Process(Machine& machine, pami::EndpointId endpoint);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  Machine& machine() noexcept { return machine_; }
+  pami::EndpointId endpoint() const noexcept { return endpoint_; }
+  pami::Client& client() noexcept { return *client_; }
+  alloc::IAllocator& allocator() noexcept { return *allocator_; }
+
+  Pe& pe(unsigned local) { return *pes_[local]; }
+  unsigned worker_count() const {
+    return static_cast<unsigned>(pes_.size());
+  }
+
+  /// Allocator thread-slot of the calling thread (workers then comm
+  /// threads); set per-thread by the machine at launch.
+  static alloc::ThreadId current_tid() noexcept { return tls_tid_; }
+  static void set_current_tid(alloc::ThreadId t) noexcept { tls_tid_ = t; }
+
+  /// Machine-layer send of a fully-built message to a remote PE.  Chooses
+  /// immediate / eager / rendezvous and routes through the right context.
+  /// Takes ownership of `m`.
+  void net_send(Pe& src_pe, PeRank dst, Message* m);
+
+  /// Start comm threads (kSmpCommThreads mode); called by Machine.
+  void start_comm_threads(unsigned n);
+  void stop_comm_threads();
+  pami::CommThreadPool* comm_pool() { return comm_pool_.get(); }
+
+ private:
+  friend class Pe;
+  friend class Machine;
+
+  void register_dispatches();
+  void send_on_context(pami::Context& ctx, PeRank dst, Message* m);
+
+  /// Hand a received message to its destination PE (inline in non-SMP).
+  void deliver(Message* m);
+
+  // Dispatch handlers (run on whichever thread advances the context).
+  void on_eager(const pami::DispatchArgs& a);
+  void on_rendezvous_req(const pami::DispatchArgs& a);
+  void on_rendezvous_ack(const pami::DispatchArgs& a);
+
+  Machine& machine_;
+  const pami::EndpointId endpoint_;
+  std::unique_ptr<alloc::IAllocator> allocator_;
+  std::unique_ptr<pami::Client> client_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::unique_ptr<pami::CommThreadPool> comm_pool_;
+
+  static thread_local alloc::ThreadId tls_tid_;
+};
+
+/// The whole simulated job.
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const noexcept { return cfg_; }
+  const topo::Torus& torus() const noexcept { return torus_; }
+  net::Fabric& fabric() noexcept { return *fabric_; }
+
+  std::size_t pe_count() const noexcept { return cfg_.pe_count(); }
+  Process& process(std::size_t i) { return *processes_[i]; }
+  std::size_t process_count() const noexcept { return processes_.size(); }
+
+  /// Register a handler on all PEs; returns its id.  Do this before run().
+  HandlerId register_handler(HandlerFn fn);
+  const HandlerFn& handler(HandlerId id) const { return handlers_[id]; }
+
+  /// Launch: one host thread per PE runs `init(pe)` then the scheduler
+  /// loop; comm threads run alongside.  Returns when every PE's scheduler
+  /// has exited (someone called pe.exit_all()).
+  void run(const std::function<void(Pe&)>& init);
+
+  /// Map global PE rank -> owning process index / local worker index.
+  std::size_t process_of(PeRank pe) const noexcept {
+    return pe / cfg_.effective_workers_per_process();
+  }
+  unsigned local_of(PeRank pe) const noexcept {
+    return pe % cfg_.effective_workers_per_process();
+  }
+  Pe& pe(PeRank rank) {
+    return processes_[process_of(rank)]->pe(local_of(rank));
+  }
+
+  bool stopping() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+  }
+
+  /// Worker barrier: callable only from PE threads during run().
+  void worker_barrier();
+
+  // Aggregate statistics over all PEs.
+  PeStats aggregate_stats() const;
+
+ private:
+  MachineConfig cfg_;
+  topo::Torus torus_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<HandlerFn> handlers_;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<std::barrier<>> barrier_;
+};
+
+}  // namespace bgq::cvs

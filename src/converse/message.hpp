@@ -1,0 +1,59 @@
+// Converse message layout.
+//
+// A message is a single allocation: a 16-byte header followed by payload.
+// Within an SMP process, messages move between PEs by pointer exchange
+// (the paper's "local communication within the process is via pointer
+// exchange"); across processes the header travels as PAMI metadata and the
+// payload as the PAMI payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bgq::cvs {
+
+/// Global processing-element rank.
+using PeRank = std::uint32_t;
+
+/// Registered handler index.
+using HandlerId = std::uint16_t;
+
+struct alignas(16) MsgHeader {
+  std::uint32_t payload_bytes = 0;
+  HandlerId handler = 0;
+  std::uint16_t flags = 0;
+  PeRank src_pe = 0;
+  PeRank dst_pe = 0;
+};
+static_assert(sizeof(MsgHeader) == 16);
+
+/// A Converse message.  Never constructed directly — allocated by
+/// Pe::alloc_message / Process::alloc_message so the buffer comes from the
+/// node's message allocator (pool or arena).
+class Message {
+ public:
+  MsgHeader& header() noexcept { return *reinterpret_cast<MsgHeader*>(this); }
+  const MsgHeader& header() const noexcept {
+    return *reinterpret_cast<const MsgHeader*>(this);
+  }
+
+  std::byte* payload() noexcept {
+    return reinterpret_cast<std::byte*>(this) + sizeof(MsgHeader);
+  }
+  const std::byte* payload() const noexcept {
+    return reinterpret_cast<const std::byte*>(this) + sizeof(MsgHeader);
+  }
+
+  std::size_t payload_bytes() const noexcept {
+    return header().payload_bytes;
+  }
+  std::size_t total_bytes() const noexcept {
+    return sizeof(MsgHeader) + header().payload_bytes;
+  }
+
+  /// Reinterpret a raw allocation of total_bytes as a Message.
+  static Message* from_raw(void* raw) { return static_cast<Message*>(raw); }
+  void* raw() noexcept { return this; }
+};
+
+}  // namespace bgq::cvs

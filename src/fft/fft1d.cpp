@@ -1,0 +1,116 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+
+namespace bgq::fft {
+
+namespace {
+
+std::size_t smallest_factor(std::size_t n) {
+  if (n % 2 == 0) return 2;
+  if (n % 3 == 0) return 3;
+  if (n % 5 == 0) return 5;
+  return n;  // not smooth; caught at plan time
+}
+
+}  // namespace
+
+bool Fft1D::smooth(std::size_t n) noexcept {
+  if (n == 0) return false;
+  for (std::size_t f : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    while (n % f == 0) n /= f;
+  }
+  return n == 1;
+}
+
+double Fft1D::flops(std::size_t n) noexcept {
+  return n <= 1 ? 0.0
+               : 5.0 * static_cast<double>(n) *
+                     (std::log2(static_cast<double>(n)));
+}
+
+Fft1D::Fft1D(std::size_t n) : n_(n) {
+  if (!smooth(n)) {
+    throw std::invalid_argument("FFT size must be 2,3,5-smooth and >= 1");
+  }
+  std::size_t rem = n;
+  while (rem > 1) {
+    const std::size_t f = smallest_factor(rem);
+    factors_.push_back(f);
+    rem /= f;
+  }
+  twiddle_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                       static_cast<double>(n);
+    twiddle_[j] = cplx(std::cos(ang), std::sin(ang));
+  }
+  scratch_.resize(n);
+}
+
+// Decimation-in-time Cooley–Tukey, generic radix.  `in` is read with
+// `stride`; `out` receives the n contiguous results.  A sub-transform of
+// size m uses W_m^e = W_N^{e * tw_mult} with tw_mult = N/m.
+void Fft1D::rec(const cplx* in, cplx* out, std::size_t n, std::size_t stride,
+                std::size_t tw_mult, bool inverse,
+                std::size_t level) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t r = factors_[level];
+  const std::size_t m = n / r;
+
+  // r sub-DFTs over the decimated sequences in[q], in[q+r], ...
+  for (std::size_t q = 0; q < r; ++q) {
+    rec(in + q * stride, out + q * m, m, stride * r, tw_mult * r, inverse,
+        level + 1);
+  }
+
+  // Combine.  Reads {q*m + k2} and writes {j*m + k2} touch the same index
+  // set for each k2, so a radix-sized temporary makes this in-place.
+  cplx t[8];  // max radix is 5
+  for (std::size_t k2 = 0; k2 < m; ++k2) {
+    for (std::size_t q = 0; q < r; ++q) t[q] = out[q * m + k2];
+    for (std::size_t j = 0; j < r; ++j) {
+      const std::size_t k = k2 + j * m;
+      cplx acc = t[0];  // q = 0 twiddle is 1
+      for (std::size_t q = 1; q < r; ++q) {
+        const std::size_t e = (q * k * tw_mult) % n_;
+        const cplx w =
+            inverse ? std::conj(twiddle_[e]) : twiddle_[e];
+        acc += t[q] * w;
+      }
+      out[k] = acc;
+    }
+  }
+}
+
+void Fft1D::transform(cplx* x, bool inverse) const {
+  if (n_ == 1) return;
+  rec(x, scratch_.data(), n_, 1, 1, inverse, 0);
+  std::memcpy(x, scratch_.data(), n_ * sizeof(cplx));
+}
+
+void Fft1D::forward(cplx* x) const { transform(x, false); }
+
+void Fft1D::backward(cplx* x) const { transform(x, true); }
+
+void Fft1D::inverse(cplx* x) const {
+  transform(x, true);
+  const double s = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] *= s;
+}
+
+void Fft1D::forward_many(cplx* base, std::size_t count) const {
+  for (std::size_t p = 0; p < count; ++p) forward(base + p * n_);
+}
+
+void Fft1D::backward_many(cplx* base, std::size_t count) const {
+  for (std::size_t p = 0; p < count; ++p) backward(base + p * n_);
+}
+
+}  // namespace bgq::fft

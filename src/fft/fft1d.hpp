@@ -1,0 +1,60 @@
+// Mixed-radix 1-D complex FFT (radices 2, 3, 5).
+//
+// Written from scratch (no FFTW on BG/Q either — NAMD used IBM ESSL or its
+// own kernels).  Covers every size the paper's experiments need: the
+// 32/64/128 Table-I cubes and the PME grid extents 216, 864, 1080 (all
+// 2,3,5-smooth).  Plan-once / execute-many, matching how the PME pencils
+// reuse plans every timestep.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace bgq::fft {
+
+using cplx = std::complex<double>;
+
+/// A planned 1-D transform of fixed length n.
+class Fft1D {
+ public:
+  /// n must be >= 1 and 2,3,5-smooth; throws std::invalid_argument else.
+  explicit Fft1D(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] e^{-2*pi*i*jk/n}.
+  void forward(cplx* x) const;
+
+  /// In-place inverse DFT, scaled by 1/n (forward then inverse is
+  /// the identity).
+  void inverse(cplx* x) const;
+
+  /// Unscaled inverse (backward) transform — what a forward+backward
+  /// convolution pipeline composes with its own normalization.
+  void backward(cplx* x) const;
+
+  /// Forward-transform `count` contiguous pencils of length n starting at
+  /// `base` (pencil p at base + p*n).
+  void forward_many(cplx* base, std::size_t count) const;
+  void backward_many(cplx* base, std::size_t count) const;
+
+  /// True if n factors into 2s, 3s and 5s only.
+  static bool smooth(std::size_t n) noexcept;
+
+  /// Floating-point operation estimate (the standard 5 n log2 n), used by
+  /// the scale-out cost models.
+  static double flops(std::size_t n) noexcept;
+
+ private:
+  void transform(cplx* x, bool inverse) const;
+  void rec(const cplx* in, cplx* out, std::size_t n, std::size_t stride,
+           std::size_t tw_mult, bool inverse, std::size_t level) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> factors_;
+  std::vector<cplx> twiddle_;          // e^{-2 pi i j / n}, j in [0, n)
+  mutable std::vector<cplx> scratch_;  // out-of-place recursion target
+};
+
+}  // namespace bgq::fft

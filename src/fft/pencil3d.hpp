@@ -1,0 +1,125 @@
+// Pencil-decomposed 3-D complex FFT over the Converse runtime (§IV-A).
+//
+// "We parallelize 3D-FFT computation via a 2D pencil decomposition where
+//  each processor has a subset of the data along two dimensions and all
+//  input points in the 3rd dimension called a pencil."
+//
+// PEs form a G x G grid (P = G^2, rank p -> row r = p/G, col c = p%G);
+// the n^3 grid (n divisible by G, B = n/G) moves through three layouts:
+//
+//   Z-pencils  A[(bx*B+by)*n + z]   x = r*B+bx, y = c*B+by   (input)
+//   Y-pencils  A[(bx*B+bz)*n + y]   x = r*B+bx, z = c*B+bz
+//   X-pencils  A[(by*B+bz)*n + x]   y = r*B+by, z = c*B+bz   (output)
+//
+// Forward: FFT_z -> transpose within each row -> FFT_y -> transpose within
+// each column -> FFT_x.  Backward inverts the pipeline.  Each transpose
+// exchanges G blocks of B^3 complex numbers per PE.
+//
+// Two transports implement the exchange (the Table-I comparison):
+//   * kP2P — one Converse message per peer per transpose (allocate, copy,
+//     schedule, handle: the per-message overheads the paper measures);
+//   * kM2M — persistent CmiDirectManytomany handles registered once;
+//     start() fires the whole burst through the comm threads.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "converse/machine.hpp"
+#include "fft/fft1d.hpp"
+#include "l2atomic/completion.hpp"
+#include "m2m/manytomany.hpp"
+
+namespace bgq::fft {
+
+enum class Transport { kP2P, kM2M };
+
+/// Machine-wide distributed 3-D FFT.  Construct before Machine::run();
+/// every PE then calls forward()/backward() collectively.
+class Pencil3DFFT {
+ public:
+  /// `coord` is required for Transport::kM2M (ignored for kP2P).
+  /// `tag_base`: four consecutive m2m tags are claimed from here.
+  Pencil3DFFT(cvs::Machine& machine, std::size_t n, Transport transport,
+              m2m::Coordinator* coord = nullptr,
+              std::uint32_t tag_base = 100);
+
+  Pencil3DFFT(const Pencil3DFFT&) = delete;
+  Pencil3DFFT& operator=(const Pencil3DFFT&) = delete;
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t grid() const noexcept { return g_; }    ///< G
+  std::size_t block() const noexcept { return b_; }   ///< B = n/G
+  std::size_t local_elems() const noexcept { return n_ * b_ * b_; }
+
+  /// PE-local grid storage (Z-pencil layout before forward, X-pencil
+  /// after; backward restores Z-pencil layout).
+  cplx* local_data(cvs::PeRank r) { return states_[r]->data.data(); }
+
+  /// Collective: all PEs must call.  Blocking (internally progresses the
+  /// runtime while waiting for transpose blocks).
+  void forward(cvs::Pe& pe);
+  void backward(cvs::Pe& pe);
+
+  /// One full forward+backward, scaled so data round-trips to the input —
+  /// the Table-I "time step" operation.
+  void roundtrip(cvs::Pe& pe);
+
+  // Layout helpers (for tests and charge-grid producers/consumers).
+  std::size_t z_index(std::size_t bx, std::size_t by, std::size_t z) const {
+    return (bx * b_ + by) * n_ + z;
+  }
+  std::size_t x_index(std::size_t by, std::size_t bz, std::size_t x) const {
+    return (by * b_ + bz) * n_ + x;
+  }
+
+ private:
+  // Transpose phases.
+  enum Phase : unsigned {
+    kFwd1 = 0,  ///< Z->Y, exchange within row
+    kFwd2 = 1,  ///< Y->X, exchange within column
+    kBwd2 = 2,  ///< X->Y, exchange within column
+    kBwd1 = 3,  ///< Y->Z, exchange within row
+    kPhases = 4,
+  };
+
+  struct PeState {
+    explicit PeState(std::size_t elems, std::size_t plan_n)
+        : data(elems), plan(plan_n) {
+      for (auto& v : pack) v.resize(elems);
+      for (auto& v : recv) v.resize(elems);
+    }
+    std::vector<cplx> data;
+    std::vector<cplx> pack[kPhases];
+    std::vector<cplx> recv[kPhases];
+    l2::CompletionCounter arrived[kPhases];
+    std::uint64_t epoch[kPhases] = {0, 0, 0, 0};
+    m2m::Handle* handles[kPhases] = {nullptr, nullptr, nullptr, nullptr};
+    Fft1D plan;  // per-PE plan: Fft1D scratch is not shareable
+  };
+
+  /// Peer PE for exchange index i in `phase` as seen from (row, col).
+  cvs::PeRank peer(Phase phase, std::size_t row, std::size_t col,
+                   std::size_t i) const;
+  /// This PE's slot index at its peers for `phase`.
+  std::uint32_t my_slot(Phase phase, std::size_t row, std::size_t col) const;
+
+  void pack_phase(Phase phase, PeState& st, std::size_t row,
+                  std::size_t col) const;
+  void unpack_phase(Phase phase, PeState& st, std::size_t row,
+                    std::size_t col) const;
+  void exchange(cvs::Pe& pe, Phase phase);
+
+  cvs::Machine& machine_;
+  const std::size_t n_;
+  const std::size_t g_;
+  const std::size_t b_;
+  const Transport transport_;
+  m2m::Coordinator* coord_;
+  cvs::HandlerId p2p_handler_ = 0;
+  std::vector<std::unique_ptr<PeState>> states_;
+};
+
+}  // namespace bgq::fft

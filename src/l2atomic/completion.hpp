@@ -1,0 +1,55 @@
+// Messaging-progress counters built on L2 atomics (paper §II: "L2 atomics
+// can be used to design lockless queues and messaging counters that are
+// used to track communication progress").
+//
+// A CompletionCounter tracks how many of an expected number of events
+// (packets sent, messages received, rput acks) have completed; many threads
+// store-add into it and any thread may poll done().  The many-to-many
+// implementation uses one per handle and per phase.
+#pragma once
+
+#include <cstdint>
+
+#include "l2atomic/l2_atomic.hpp"
+
+namespace bgq::l2 {
+
+/// Counts completions toward a target; reusable across iterations by
+/// raising the target instead of resetting the count (avoids the reset race
+/// where a late arrival from iteration i lands after the reset for i+1).
+class alignas(kL2Line) CompletionCounter {
+ public:
+  CompletionCounter() noexcept : count_(0), target_(0) {}
+
+  /// Arm the counter for `n` more events.  Returns the new target so
+  /// callers can wait for a specific epoch.
+  std::uint64_t expect(std::uint64_t n) noexcept {
+    return target_.add_fetch(n);
+  }
+
+  /// Record `n` completed events (L2 store-add on the count word).
+  void complete(std::uint64_t n = 1) noexcept { count_.store_add(n); }
+
+  /// Record `n` completions and return the new total — lets exactly one
+  /// thread observe a threshold crossing (epoch-completion callbacks).
+  std::uint64_t complete_fetch(std::uint64_t n = 1) noexcept {
+    return count_.add_fetch(n);
+  }
+
+  /// All currently-expected events have completed.
+  bool done() const noexcept { return count_.load() >= target_.load(); }
+
+  /// Completions have reached `epoch` (a value returned by expect()).
+  bool reached(std::uint64_t epoch) const noexcept {
+    return count_.load() >= epoch;
+  }
+
+  std::uint64_t count() const noexcept { return count_.load(); }
+  std::uint64_t target() const noexcept { return target_.load(); }
+
+ private:
+  AtomicWord count_;
+  AtomicWord target_;
+};
+
+}  // namespace bgq::l2

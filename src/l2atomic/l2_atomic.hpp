@@ -1,0 +1,172 @@
+// Emulation of the Blue Gene/Q L2-cache atomic operations (paper §II).
+//
+// On BG/Q the L2 cache slices contain integer adders so that a *load* from a
+// specially-mapped alias of a 64-bit word performs an atomic read-modify-
+// write in the cache itself: load-increment, load-decrement, load-clear and
+// their bounded variants, plus stores that add/or/xor into the word.  These
+// complete in ~60 cycles without bouncing the line between cores, which is
+// why the Charm++ port builds its queues and allocator pools on them.
+//
+// Host emulation: each L2 atomic word is a std::atomic<uint64_t>.  The
+// *semantics* are preserved exactly — in particular the bounded increment's
+// failure protocol, which returns 0xFFFF'FFFF'FFFF'FFFF when the counter has
+// reached the bound stored in the adjacent word.  Only the cycle cost
+// differs; cost constants live in src/model for the scale-out simulator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace bgq::l2 {
+
+/// Value returned by bounded load-increment/decrement when the operation
+/// fails against the bound (matches the BG/Q convention of all-ones).
+inline constexpr std::uint64_t kBoundedFailure = ~std::uint64_t{0};
+
+/// One 64-bit word with the BG/Q L2 atomic operation set.
+///
+/// The real hardware exposes these through load/store on aliased addresses;
+/// here they are member functions.  All operations are sequentially
+/// consistent unless noted — the BG/Q L2 gives a single serialization point
+/// per word, which seq_cst models most directly.  Hot paths that only need
+/// acquire/release use the *_relaxed variants.
+class AtomicWord {
+ public:
+  AtomicWord() noexcept : v_(0) {}
+  explicit AtomicWord(std::uint64_t init) noexcept : v_(init) {}
+
+  AtomicWord(const AtomicWord&) = delete;
+  AtomicWord& operator=(const AtomicWord&) = delete;
+
+  /// Plain load (the paced idle-poll probes use this).
+  std::uint64_t load(std::memory_order mo = std::memory_order_acquire)
+      const noexcept {
+    return v_.load(mo);
+  }
+
+  /// Plain store.
+  void store(std::uint64_t x,
+             std::memory_order mo = std::memory_order_release) noexcept {
+    v_.store(x, mo);
+  }
+
+  /// L2 "load-increment": returns the old value, adds one.
+  std::uint64_t load_increment() noexcept {
+    return v_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// L2 "load-decrement": returns the old value, subtracts one.
+  std::uint64_t load_decrement() noexcept {
+    return v_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// L2 "load-clear": returns the old value, stores zero.
+  std::uint64_t load_clear() noexcept {
+    return v_.exchange(0, std::memory_order_acq_rel);
+  }
+
+  /// L2 "store-add": adds x (no result).
+  void store_add(std::uint64_t x) noexcept {
+    v_.fetch_add(x, std::memory_order_acq_rel);
+  }
+
+  /// L2 "store-add" returning the new value (convenience for counters that
+  /// track completion; the hardware variant pairs store-add with a load).
+  std::uint64_t add_fetch(std::uint64_t x) noexcept {
+    return v_.fetch_add(x, std::memory_order_acq_rel) + x;
+  }
+
+  /// L2 "store-or": bitwise-or x into the word.
+  void store_or(std::uint64_t x) noexcept {
+    v_.fetch_or(x, std::memory_order_acq_rel);
+  }
+
+  /// L2 "store-xor": bitwise-xor x into the word.
+  void store_xor(std::uint64_t x) noexcept {
+    v_.fetch_xor(x, std::memory_order_acq_rel);
+  }
+
+  /// L2 "store-max" (unsigned): word = max(word, x).
+  void store_max(std::uint64_t x) noexcept {
+    std::uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < x &&
+           !v_.compare_exchange_weak(cur, x, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Compare-and-swap (the host fallback the non-L2 build of the real port
+  /// uses; exposed for tests and the mutex-free overflow checks).
+  bool compare_exchange(std::uint64_t& expected, std::uint64_t desired)
+      noexcept {
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+static_assert(sizeof(AtomicWord) == sizeof(std::uint64_t),
+              "AtomicWord must stay layout-compatible with a 64-bit word");
+
+/// A producer counter and its bound in adjacent memory locations, padded so
+/// the pair owns an entire (emulated) L2 line — the exact layout of the
+/// paper's lockless queue counters (§III-A, Fig. 2).
+///
+/// Protocol:
+///   * producers call bounded_increment(); success allocates slot
+///     (old_counter % queue_size), failure (counter == bound) returns
+///     kBoundedFailure and the producer falls back to the overflow queue;
+///   * the consumer advances `bound` by the number of slots it has drained,
+///     re-opening them to producers.
+class alignas(kL2Line) BoundedCounter {
+ public:
+  /// `bound` is the initial maximum value the counter may be incremented to
+  /// (exclusive), i.e. the queue capacity.
+  explicit BoundedCounter(std::uint64_t bound = 0) noexcept
+      : counter_(0), bound_(bound) {}
+
+  /// Atomic bounded load-increment.  Returns the counter's old value on
+  /// success, kBoundedFailure when counter == bound.
+  ///
+  /// The emulation must tolerate the consumer concurrently raising the
+  /// bound, so it re-reads the bound on every CAS retry — this matches the
+  /// hardware, where the adder checks the live bound word.
+  std::uint64_t bounded_increment() noexcept {
+    std::uint64_t cur = counter_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur >= bound_.load(std::memory_order_acquire)) {
+        // Bound may have been raised between our read of counter and bound;
+        // one more counter re-read keeps the failure check precise.
+        cur = counter_.load(std::memory_order_acquire);
+        if (cur >= bound_.load(std::memory_order_acquire)) {
+          return kBoundedFailure;
+        }
+      }
+      if (counter_.compare_exchange(cur, cur + 1)) return cur;
+      // cur was refreshed by compare_exchange; loop.
+    }
+  }
+
+  /// Consumer-side: raise the bound by n drained slots.
+  void advance_bound(std::uint64_t n) noexcept { bound_.store_add(n); }
+
+  std::uint64_t counter() const noexcept { return counter_.load(); }
+  std::uint64_t bound() const noexcept { return bound_.load(); }
+
+  /// True when every slot below the bound has been claimed.
+  bool full() const noexcept { return counter() >= bound(); }
+
+ private:
+  AtomicWord counter_;  // first word of the pair
+  AtomicWord bound_;    // "adjacent memory location" holding the bound
+};
+
+static_assert(alignof(BoundedCounter) == kL2Line,
+              "counter pair must own its cache line");
+
+}  // namespace bgq::l2

@@ -1,0 +1,174 @@
+#include "m2m/manytomany.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgq::m2m {
+
+namespace {
+
+/// Wire metadata for one many-to-many chunk.
+struct ChunkMeta {
+  std::uint32_t tag;
+  std::uint32_t dst_pe;
+  std::uint32_t slot;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ChunkMeta) == 16);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+Handle::Handle(Coordinator& coord, cvs::PeRank rank, std::uint32_t tag,
+               std::size_t nsends, std::size_t nrecvs)
+    : coord_(coord), rank_(rank), tag_(tag), sends_(nsends),
+      recvs_(nrecvs) {}
+
+void Handle::set_send(std::size_t idx, cvs::PeRank dst,
+                      std::uint32_t dst_slot, std::size_t displ,
+                      std::size_t bytes) {
+  sends_.at(idx) = SendEntry{dst, dst_slot, displ, bytes};
+}
+
+void Handle::set_recv(std::size_t slot, std::size_t displ,
+                      std::size_t bytes) {
+  recvs_.at(slot) = RecvEntry{displ, bytes};
+}
+
+std::uint64_t Handle::expect_epoch() {
+  return recv_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void Handle::on_chunk(std::uint32_t slot, const std::byte* data,
+                      std::size_t bytes) {
+  const RecvEntry& r = recvs_.at(slot);
+  if (bytes != r.bytes) {
+    throw std::logic_error("many-to-many chunk size mismatch");
+  }
+  std::memcpy(recv_base_ + r.displ, data, bytes);
+  const std::uint64_t n = recvs_complete_.complete_fetch();
+  if (on_recvs_done && n % recvs_.size() == 0) on_recvs_done();
+}
+
+void Handle::send_range(pami::Context& ctx, std::size_t begin,
+                        std::size_t end) {
+  cvs::Machine& mach = coord_.machine();
+  const unsigned nctx = mach.config().contexts_per_process();
+  std::uint64_t sent = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const SendEntry& s = sends_[i];
+    ChunkMeta meta{tag_, s.dst, s.dst_slot, 0};
+
+    pami::SendParams p;
+    p.dest = static_cast<pami::EndpointId>(mach.process_of(s.dst));
+    p.dest_context = static_cast<std::uint16_t>(s.dst % nctx);
+    p.dispatch = kDispatchM2M;
+    p.metadata = &meta;
+    p.metadata_bytes = sizeof(meta);
+    p.payload = send_base_ + s.displ;
+    p.payload_bytes = s.bytes;
+    if (sizeof(meta) + s.bytes <= pami::Context::kImmediateMax) {
+      ctx.send_immediate(p);
+    } else {
+      ctx.send(p);
+    }
+    ++sent;
+  }
+  const std::uint64_t n = sends_complete_.complete_fetch(sent);
+  if (on_sends_done && n % sends_.size() == 0) on_sends_done();
+}
+
+void Handle::start() {
+  cvs::Machine& mach = coord_.machine();
+  send_epoch_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Local (same-process) entries complete inline: a memcpy between the two
+  // registered buffers — the SMP pointer-exchange analogue.
+  std::vector<std::size_t> remote;
+  remote.reserve(sends_.size());
+  const std::size_t my_proc = mach.process_of(rank_);
+  std::uint64_t local_done = 0;
+  for (std::size_t i = 0; i < sends_.size(); ++i) {
+    const SendEntry& s = sends_[i];
+    if (mach.process_of(s.dst) == my_proc) {
+      coord_.handle(s.dst, tag_).on_chunk(
+          s.dst_slot, send_base_ + s.displ, s.bytes);
+      ++local_done;
+    } else {
+      remote.push_back(i);
+    }
+  }
+  if (local_done != 0) {
+    const std::uint64_t n = sends_complete_.complete_fetch(local_done);
+    if (on_sends_done && n % sends_.size() == 0) on_sends_done();
+  }
+  if (remote.empty()) return;
+
+  cvs::Process& proc = mach.process(my_proc);
+  if (proc.comm_pool() == nullptr) {
+    // No comm threads: inject the whole burst on the caller's context.
+    pami::Context* ctx = mach.pe(rank_).owned_context();
+    for (std::size_t i : remote) send_range(*ctx, i, i + 1);
+    return;
+  }
+
+  // Split the burst across every context so all comm threads inject in
+  // parallel (§III-E: "posting work on multiple communication threads").
+  const unsigned nctx = proc.client().context_count();
+  const std::size_t per =
+      (remote.size() + nctx - 1) / nctx;
+  auto shared = std::make_shared<std::vector<std::size_t>>(std::move(remote));
+  for (unsigned c = 0; c < nctx; ++c) {
+    const std::size_t lo = c * per;
+    if (lo >= shared->size()) break;
+    const std::size_t hi = std::min(shared->size(), lo + per);
+    pami::Context& ctx = proc.client().context(c);
+    ctx.post_work([this, &ctx, shared, lo, hi] {
+      for (std::size_t k = lo; k < hi; ++k) {
+        send_range(ctx, (*shared)[k], (*shared)[k] + 1);
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(cvs::Machine& machine) : machine_(machine) {
+  for (std::size_t p = 0; p < machine_.process_count(); ++p) {
+    machine_.process(p).client().set_dispatch(
+        kDispatchM2M,
+        [this](const pami::DispatchArgs& a) { on_packet(a); });
+  }
+}
+
+Handle& Coordinator::create(cvs::PeRank rank, std::uint32_t tag,
+                            std::size_t nsends, std::size_t nrecvs) {
+  std::lock_guard<std::mutex> g(mutex_);
+  auto [it, inserted] = handles_.try_emplace(
+      key(rank, tag),
+      std::unique_ptr<Handle>(new Handle(*this, rank, tag, nsends, nrecvs)));
+  if (!inserted) throw std::logic_error("m2m handle already exists");
+  return *it->second;
+}
+
+Handle& Coordinator::handle(cvs::PeRank rank, std::uint32_t tag) {
+  // Handles are created collectively before traffic; lookups during the
+  // run are read-only and need no lock.
+  const auto it = handles_.find(key(rank, tag));
+  if (it == handles_.end()) throw std::logic_error("unknown m2m handle");
+  return *it->second;
+}
+
+void Coordinator::on_packet(const pami::DispatchArgs& a) {
+  ChunkMeta meta;
+  std::memcpy(&meta, a.metadata, sizeof(meta));
+  handle(meta.dst_pe, meta.tag).on_chunk(meta.slot, a.payload,
+                                         a.payload_bytes);
+}
+
+}  // namespace bgq::m2m

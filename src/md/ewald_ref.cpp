@@ -1,0 +1,81 @@
+#include "md/ewald_ref.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace bgq::md {
+
+EwaldResult ewald_reference(const System& sys, double beta, int kmax) {
+  using std::numbers::pi;
+  EwaldResult out;
+  const std::size_t n = sys.natoms();
+  out.f_real.assign(n, {});
+  out.f_recip.assign(n, {});
+  const double L = sys.box;
+  const double volume = L * L * L;
+
+  // Real space: every pair once, minimum image.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 d = sys.min_image(sys.pos[i], sys.pos[j]);
+      const double r2 = d.norm2();
+      const double r = std::sqrt(r2);
+      const double qq = kCoulomb * sys.charge[i] * sys.charge[j];
+      const double br = beta * r;
+      out.e_real += qq * std::erfc(br) / r;
+      const double fscalar =
+          qq * (std::erfc(br) / (r2 * r) +
+                (2.0 * beta / std::sqrt(pi)) * std::exp(-br * br) / r2);
+      const Vec3 fv = d * fscalar;
+      out.f_real[i] += fv;
+      out.f_real[j] -= fv;
+    }
+  }
+
+  // Reciprocal space: E = (1/2V) sum_{k!=0} (4 pi / k^2) e^{-k^2/4b^2}
+  // |S(k)|^2, S(k) = sum_i q_i e^{i k.r_i}, k = 2 pi m / L.
+  for (int mx = -kmax; mx <= kmax; ++mx) {
+    for (int my = -kmax; my <= kmax; ++my) {
+      for (int mz = -kmax; mz <= kmax; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        const double kx = 2.0 * pi * mx / L;
+        const double ky = 2.0 * pi * my / L;
+        const double kz = 2.0 * pi * mz / L;
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        const double factor =
+            (4.0 * pi / k2) * std::exp(-k2 / (4.0 * beta * beta));
+
+        std::complex<double> s(0, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double phase = kx * sys.pos[i].x + ky * sys.pos[i].y +
+                               kz * sys.pos[i].z;
+          s += sys.charge[i] *
+               std::complex<double>(std::cos(phase), std::sin(phase));
+        }
+        out.e_recip +=
+            kCoulomb / (2.0 * volume) * factor * std::norm(s);
+
+        // F_i = (q_i / V) * factor * k * Im(e^{-i k r_i} S(k))
+        for (std::size_t i = 0; i < n; ++i) {
+          const double phase = kx * sys.pos[i].x + ky * sys.pos[i].y +
+                               kz * sys.pos[i].z;
+          const std::complex<double> ei(std::cos(phase), std::sin(phase));
+          const double im = (ei * std::conj(s)).imag();
+          const double c =
+              kCoulomb * sys.charge[i] / volume * factor * im;
+          out.f_recip[i] += Vec3{kx, ky, kz} * c;
+        }
+      }
+    }
+  }
+
+  // Self energy.
+  double q2 = 0;
+  for (double q : sys.charge) q2 += q * q;
+  out.e_self = -kCoulomb * beta / std::sqrt(pi) * q2;
+
+  return out;
+}
+
+}  // namespace bgq::md

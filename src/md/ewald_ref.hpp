@@ -1,0 +1,26 @@
+// Naive Ewald summation — the O(N^2 + N K^3) reference that validates the
+// PME implementation (tests compare energies and forces).
+#pragma once
+
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace bgq::md {
+
+struct EwaldResult {
+  double e_real = 0;   ///< erfc-screened real-space sum (all pairs, min image)
+  double e_recip = 0;  ///< reciprocal-space sum
+  double e_self = 0;   ///< self-energy correction (negative)
+  std::vector<Vec3> f_real;
+  std::vector<Vec3> f_recip;
+
+  double total() const { return e_real + e_recip + e_self; }
+};
+
+/// Direct Ewald sum.  `kmax`: reciprocal vectors with |m_i| <= kmax.
+/// Real-space part uses minimum image only, so beta*box/2 must make the
+/// erfc tail negligible.
+EwaldResult ewald_reference(const System& sys, double beta, int kmax);
+
+}  // namespace bgq::md

@@ -1,0 +1,95 @@
+// Nonbonded and bonded force kernels (§IV-B.1).
+//
+// Two interchangeable nonbonded implementations over the same pair lists
+// and interpolation table:
+//   * compute_nonbonded_scalar — the reference loop;
+//   * compute_nonbonded_qpx    — the paper's QPX vectorization: four pairs
+//     per iteration, gathered table loads issued early (the "increase the
+//     load-to-use distance" optimization), FMA accumulation.
+// bench_qpx_kernels compares them; tests require identical results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "md/system.hpp"
+#include "md/tables.hpp"
+
+namespace bgq::md {
+
+/// A batch of interacting pairs with precomputed LJ coefficients.
+/// `newton == true`: i<j local pairs — force applied to both, full energy.
+/// `newton == false`: (local, ghost) pairs — force applied to i only and
+/// half energy counted (the other owner computes the mirror pair).
+struct PairBlock {
+  std::vector<std::uint32_t> i, j;
+  std::vector<double> lj_a, lj_b;  ///< A = eps*rm^12, B = 2*eps*rm^6
+  bool newton = true;
+
+  std::size_t size() const noexcept { return i.size(); }
+  void add(std::uint32_t a, std::uint32_t b, double lj_a_v, double lj_b_v) {
+    i.push_back(a);
+    j.push_back(b);
+    lj_a.push_back(lj_a_v);
+    lj_b.push_back(lj_b_v);
+  }
+};
+
+/// Combined Lorentz-Berthelot LJ coefficients for a type pair.
+struct LjPairTable {
+  explicit LjPairTable(const std::vector<LjType>& types);
+  double a(std::uint16_t ti, std::uint16_t tj) const {
+    return a_[ti * n_ + tj];
+  }
+  double b(std::uint16_t ti, std::uint16_t tj) const {
+    return b_[ti * n_ + tj];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_, b_;
+};
+
+/// Build the i<j pair block for one atom set with exclusions applied
+/// (cell-list candidates filtered by the cutoff).
+PairBlock build_pairs(
+    const std::vector<Vec3>& pos, const std::vector<std::uint16_t>& type,
+    const LjPairTable& lj, double box, double cutoff,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& exclusions);
+
+struct NonbondedEnergy {
+  double vdw = 0;        ///< kcal/mol
+  double elec_real = 0;  ///< kcal/mol (erfc-screened real-space part)
+};
+
+/// Reference scalar kernel.  Positions/charges indexed by the pair block;
+/// forces accumulated (not zeroed).  `box` for minimum image.
+NonbondedEnergy compute_nonbonded_scalar(const std::vector<Vec3>& pos,
+                                         const std::vector<double>& charge,
+                                         const PairBlock& pairs,
+                                         const ForceTable& table, double box,
+                                         std::vector<Vec3>& force);
+
+/// QPX-vectorized kernel; bit-compatible results are not guaranteed (sum
+/// order differs) but agreement is to ~1e-12 relative.
+NonbondedEnergy compute_nonbonded_qpx(const std::vector<Vec3>& pos,
+                                      const std::vector<double>& charge,
+                                      const PairBlock& pairs,
+                                      const ForceTable& table, double box,
+                                      std::vector<Vec3>& force);
+
+/// Harmonic bonds: returns bond energy, accumulates forces.
+double compute_bonds(const std::vector<Vec3>& pos,
+                     const std::vector<Bond>& bonds, double box,
+                     std::vector<Vec3>& force);
+
+/// Harmonic angles: returns angle energy, accumulates forces.
+double compute_angles(const std::vector<Vec3>& pos,
+                      const std::vector<Angle>& angles, double box,
+                      std::vector<Vec3>& force);
+
+/// Kinetic energy (kcal/mol) of the given velocities.
+double kinetic_energy(const std::vector<Vec3>& vel,
+                      const std::vector<double>& mass);
+
+}  // namespace bgq::md

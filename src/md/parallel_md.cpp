@@ -1,0 +1,795 @@
+#include "md/parallel_md.hpp"
+
+#include "common/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <numbers>
+#include <stdexcept>
+#include <thread>
+
+namespace bgq::md {
+
+namespace {
+
+/// Direction index helpers for the 8 grid-exchange regions: index
+/// 0..7 <-> (dx,dy) in row-major order skipping (0,0).
+constexpr int kDirs[8][2] = {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                             {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+
+std::size_t dir_index(int dx, int dy) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (kDirs[i][0] == dx && kDirs[i][1] == dy) return i;
+  }
+  throw std::logic_error("bad direction");
+}
+
+std::size_t mirror(std::size_t r) {
+  return dir_index(-kDirs[r][0], -kDirs[r][1]);
+}
+
+struct HaloHeader {
+  std::uint32_t peer_index;  ///< receiver-side index into halo_peers
+  std::uint32_t epoch;       ///< sender's step epoch (parity = slab)
+};
+
+struct GridHeader {
+  std::uint32_t slot;
+};
+
+std::size_t int_sqrt(std::size_t p) {
+  auto g = static_cast<std::size_t>(std::sqrt(static_cast<double>(p)));
+  while (g * g > p) --g;
+  while ((g + 1) * (g + 1) <= p) ++g;
+  return g;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+ParallelMd::ParallelMd(cvs::Machine& machine, m2m::Coordinator* coord,
+                       System sys, MdConfig cfg)
+    : machine_(machine),
+      coord_(coord),
+      cfg_(cfg),
+      sys_(std::move(sys)),
+      table_(cfg.cutoff, cfg.beta, cfg.switch_dist),
+      lj_(sys_.lj_types),
+      pme_(cfg.pme_grid, cfg.beta, sys_.box) {
+  g_ = int_sqrt(machine.pe_count());
+  if (g_ * g_ != machine.pe_count() || g_ < 2) {
+    throw std::invalid_argument("PE count must be G^2 with G >= 2");
+  }
+  if (cfg_.pme_grid % g_ != 0) {
+    throw std::invalid_argument("PME grid must divide by G");
+  }
+  bk_ = cfg_.pme_grid / g_;
+  if (bk_ < kPadLo + 1) {
+    throw std::invalid_argument("PME grid too small for this PE grid");
+  }
+  padded_ = bk_ + kPadLo + kPadHi;
+  patch_w_ = sys_.box / static_cast<double>(g_);
+  if (cfg_.transport == fft::Transport::kM2M && coord_ == nullptr) {
+    throw std::invalid_argument("m2m transport needs a Coordinator");
+  }
+  self_energy_ = pme_.self_energy(sys_.charge);
+
+  fft_ = std::make_unique<fft::Pencil3DFFT>(
+      machine_, cfg_.pme_grid, cfg_.transport, coord_,
+      cfg_.m2m_tag_base + 16);
+
+  build_regions();
+
+  // ---- assign molecules to patches --------------------------------------
+  const std::size_t npes = machine.pe_count();
+  patches_.reserve(npes);
+  for (std::size_t p = 0; p < npes; ++p) {
+    patches_.push_back(std::make_unique<Patch>());
+  }
+
+  // Union-find over bonds groups atoms into molecules.
+  std::vector<std::uint32_t> root(sys_.natoms());
+  for (std::uint32_t i = 0; i < root.size(); ++i) root[i] = i;
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) {
+        while (root[x] != x) x = root[x] = root[root[x]];
+        return x;
+      };
+  for (const Bond& b : sys_.bonds) root[find(b.i)] = find(b.j);
+
+  auto patch_of_pos = [&](const Vec3& p) {
+    auto clamp = [&](double v) {
+      auto c = static_cast<std::size_t>(v / patch_w_);
+      return c >= g_ ? g_ - 1 : c;
+    };
+    return clamp(p.x) * g_ + clamp(p.y);
+  };
+  std::vector<std::size_t> owner(sys_.natoms());
+  for (std::uint32_t i = 0; i < sys_.natoms(); ++i) {
+    owner[i] = patch_of_pos(sys_.pos[find(i)]);
+  }
+
+  std::vector<std::uint32_t> local_id(sys_.natoms());
+  for (std::uint32_t i = 0; i < sys_.natoms(); ++i) {
+    Patch& p = *patches_[owner[i]];
+    local_id[i] = static_cast<std::uint32_t>(p.gid.size());
+    p.gid.push_back(i);
+    p.pos.push_back(sys_.pos[i]);
+    p.vel.push_back(sys_.vel[i]);
+    p.charge.push_back(sys_.charge[i]);
+    p.mass.push_back(sys_.mass[i]);
+    p.type.push_back(sys_.type[i]);
+  }
+  for (const Bond& b : sys_.bonds) {
+    Patch& p = *patches_[owner[b.i]];
+    p.bonds.push_back({local_id[b.i], local_id[b.j], b.k, b.r0});
+  }
+  for (const Angle& a : sys_.angles) {
+    Patch& p = *patches_[owner[a.j]];  // molecules are never split
+    p.angles.push_back({local_id[a.i], local_id[a.j], local_id[a.k],
+                        a.k_theta, a.theta0});
+  }
+  for (const auto& [a, b] : sys_.exclusions) {
+    Patch& p = *patches_[owner[a]];
+    auto la = local_id[a], lb = local_id[b];
+    if (la > lb) std::swap(la, lb);
+    p.exclusions.emplace_back(la, lb);
+  }
+  for (auto& p : patches_) {
+    std::sort(p->exclusions.begin(), p->exclusions.end());
+    p->force.assign(p->gid.size(), {});
+    p->recip_force.assign(p->gid.size(), {});
+    p->spread_grid.assign(padded_ * padded_ * cfg_.pme_grid, 0.0);
+    p->phi_grid.assign(padded_ * padded_ * cfg_.pme_grid, 0.0);
+  }
+
+  // ---- halo peers: every patch within the cutoff in (x, y) --------------
+  const int rings =
+      static_cast<int>(std::ceil(cfg_.cutoff / patch_w_));
+  for (std::size_t r = 0; r < g_; ++r) {
+    for (std::size_t c = 0; c < g_; ++c) {
+      Patch& p = *patches_[r * g_ + c];
+      for (int dx = -rings; dx <= rings; ++dx) {
+        for (int dy = -rings; dy <= rings; ++dy) {
+          const auto nb = grid_neighbor(
+              static_cast<cvs::PeRank>(r * g_ + c), dx, dy);
+          if (nb == r * g_ + c) continue;
+          if (std::find(p.halo_peers.begin(), p.halo_peers.end(), nb) ==
+              p.halo_peers.end()) {
+            p.halo_peers.push_back(nb);
+          }
+        }
+      }
+      std::sort(p.halo_peers.begin(), p.halo_peers.end());
+    }
+  }
+
+  // Ghost layout is static (no migration): locals first, then each peer's
+  // atoms in peer order.
+  for (std::size_t pr = 0; pr < npes; ++pr) {
+    Patch& p = *patches_[pr];
+    const std::size_t nl = p.gid.size();
+    p.all_pos.assign(p.pos.begin(), p.pos.end());
+    p.all_charge.assign(p.charge.begin(), p.charge.end());
+    p.all_type.assign(p.type.begin(), p.type.end());
+    std::size_t off = nl;
+    for (cvs::PeRank peer : p.halo_peers) {
+      p.ghost_offset.push_back(off);
+      const Patch& q = *patches_[peer];
+      p.ghost_count.push_back(q.gid.size());
+      for (std::size_t k = 0; k < q.gid.size(); ++k) {
+        p.ghost_gid.push_back(q.gid[k]);
+        p.all_pos.push_back(q.pos[k]);
+        p.all_charge.push_back(q.charge[k]);
+        p.all_type.push_back(q.type[k]);
+      }
+      off += q.gid.size();
+    }
+    p.ghost_staging[0].assign(p.all_pos.size() - nl, {});
+    p.ghost_staging[1].assign(p.all_pos.size() - nl, {});
+    p.peer_epoch = std::make_unique<bgq::l2::AtomicWord[]>(
+        p.halo_peers.size());
+  }
+
+  // ---- converse handlers -------------------------------------------------
+  halo_handler_ = machine_.register_handler(
+      [this](cvs::Pe& pe, cvs::Message* m) {
+        HaloHeader hdr;
+        std::memcpy(&hdr, m->payload(), sizeof(hdr));
+        Patch& p = *patches_[pe.rank()];
+        const std::size_t nl = p.gid.size();
+        const std::size_t off = p.ghost_offset[hdr.peer_index] - nl;
+        const std::size_t bytes = m->payload_bytes() - sizeof(hdr);
+        auto& slab = p.ghost_staging[hdr.epoch & 1];
+        std::memcpy(slab.data() + off, m->payload() + sizeof(hdr), bytes);
+        // Publish: the watermark store-max makes the slab write visible
+        // before the waiter reads it (release/acquire on the word).
+        p.peer_epoch[hdr.peer_index].store_max(hdr.epoch);
+        pe.free_message(m);
+      });
+
+  const std::size_t K = cfg_.pme_grid;
+  charge_handler_ = machine_.register_handler(
+      [this, K](cvs::Pe& pe, cvs::Message* m) {
+        GridHeader hdr;
+        std::memcpy(&hdr, m->payload(), sizeof(hdr));
+        Patch& p = *patches_[pe.rank()];
+        // Chunk geometry is that of my mirror region.
+        const std::size_t r = mirror(hdr.slot);
+        std::memcpy(p.charge_recv.data() + region_offset(r),
+                    m->payload() + sizeof(hdr),
+                    regions_[r].nx * regions_[r].ny * K * sizeof(double));
+        pe.free_message(m);
+        p.charges_arrived.complete();
+      });
+
+  pot_handler_ = machine_.register_handler(
+      [this, K](cvs::Pe& pe, cvs::Message* m) {
+        GridHeader hdr;
+        std::memcpy(&hdr, m->payload(), sizeof(hdr));
+        Patch& p = *patches_[pe.rank()];
+        const std::size_t r = hdr.slot;  // my own region index
+        std::memcpy(p.pot_recv.data() + region_offset(r),
+                    m->payload() + sizeof(hdr),
+                    regions_[r].nx * regions_[r].ny * K * sizeof(double));
+        pe.free_message(m);
+        p.potentials_arrived.complete();
+      });
+
+  // ---- staging + m2m handles ---------------------------------------------
+  const std::size_t staging = region_offset(8);
+  for (std::size_t pr = 0; pr < npes; ++pr) {
+    Patch& p = *patches_[pr];
+    p.charge_pack.assign(staging, 0.0);
+    p.charge_recv.assign(staging, 0.0);
+    p.pot_pack.assign(staging, 0.0);
+    p.pot_recv.assign(staging, 0.0);
+
+    if (cfg_.transport == fft::Transport::kM2M) {
+      auto rank = static_cast<cvs::PeRank>(pr);
+      m2m::Handle& hc =
+          coord_->create(rank, cfg_.m2m_tag_base + 0, 8, 8);
+      hc.set_send_base(
+          reinterpret_cast<const std::byte*>(p.charge_pack.data()));
+      hc.set_recv_base(reinterpret_cast<std::byte*>(p.charge_recv.data()));
+      m2m::Handle& hp =
+          coord_->create(rank, cfg_.m2m_tag_base + 1, 8, 8);
+      hp.set_send_base(
+          reinterpret_cast<const std::byte*>(p.pot_pack.data()));
+      hp.set_recv_base(reinterpret_cast<std::byte*>(p.pot_recv.data()));
+      for (std::size_t r = 0; r < 8; ++r) {
+        const auto bytes = regions_[r].nx * regions_[r].ny * K *
+                           sizeof(double);
+        // Charge: my region r -> neighbour(dir r), lands in its slot
+        // mirror(r); slot geometry at the receiver is region r itself.
+        hc.set_send(r, grid_neighbor(rank, regions_[r].dx, regions_[r].dy),
+                    static_cast<std::uint32_t>(mirror(r)),
+                    region_offset(r) * sizeof(double), bytes);
+        // My charge-recv slot s holds mirror(s) geometry.
+        const std::size_t ms = mirror(r);
+        hc.set_recv(r, region_offset(ms) * sizeof(double),
+                    regions_[ms].nx * regions_[ms].ny * K * sizeof(double));
+        // Potential: I send to neighbour(-dir) the chunk that is ITS
+        // region mirror(r); my pack slot for it sits at mirror(r).
+        const auto pbytes = regions_[ms].nx * regions_[ms].ny * K *
+                            sizeof(double);
+        hp.set_send(r,
+                    grid_neighbor(rank, -regions_[ms].dx, -regions_[ms].dy),
+                    static_cast<std::uint32_t>(ms),
+                    region_offset(ms) * sizeof(double), pbytes);
+        hp.set_recv(r, region_offset(r) * sizeof(double), bytes);
+      }
+      p.charge_handle = &hc;
+      p.pot_handle = &hp;
+    }
+  }
+
+  energy_log_.resize(npes);
+}
+
+void ParallelMd::build_regions() {
+  regions_.clear();
+  auto band = [&](int d, std::size_t& o, std::size_t& n, std::size_t& g0) {
+    if (d < 0) {
+      o = 0;
+      n = kPadLo;
+      g0 = bk_ - kPadLo;
+    } else if (d == 0) {
+      o = kPadLo;
+      n = bk_;
+      g0 = 0;
+    } else {
+      o = kPadLo + bk_;
+      n = kPadHi;
+      g0 = 0;
+    }
+  };
+  for (const auto& d : kDirs) {
+    Region r{};
+    r.dx = d[0];
+    r.dy = d[1];
+    band(d[0], r.px0, r.nx, r.gx0);
+    band(d[1], r.py0, r.ny, r.gy0);
+    regions_.push_back(r);
+  }
+}
+
+std::size_t ParallelMd::region_offset(std::size_t r) const {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    off += regions_[i].nx * regions_[i].ny * cfg_.pme_grid;
+  }
+  return off;
+}
+
+cvs::PeRank ParallelMd::grid_neighbor(cvs::PeRank pe, int dx, int dy) const {
+  const auto G = static_cast<int>(g_);
+  const int r = (static_cast<int>(pe) / G + dx % G + G) % G;
+  const int c = (static_cast<int>(pe) % G + dy % G + G) % G;
+  return static_cast<cvs::PeRank>(r * G + c);
+}
+
+// ---------------------------------------------------------------------------
+// Step phases
+// ---------------------------------------------------------------------------
+
+void ParallelMd::exchange_positions(cvs::Pe& pe) {
+  Patch& p = *patches_[pe.rank()];
+  const std::size_t bytes = p.gid.size() * sizeof(Vec3);
+  const std::uint64_t epoch = ++p.halo_epoch;
+  for (cvs::PeRank peer : p.halo_peers) {
+    // My index in the peer's peer list = its slot for me.
+    const Patch& q = *patches_[peer];
+    const auto it =
+        std::find(q.halo_peers.begin(), q.halo_peers.end(), pe.rank());
+    const auto my_idx = static_cast<std::uint32_t>(
+        it - q.halo_peers.begin());
+    cvs::Message* m =
+        pe.alloc_message(sizeof(HaloHeader) + bytes, halo_handler_);
+    HaloHeader hdr{my_idx, static_cast<std::uint32_t>(epoch)};
+    std::memcpy(m->payload(), &hdr, sizeof(hdr));
+    std::memcpy(m->payload() + sizeof(hdr), p.pos.data(), bytes);
+    pe.send_message(peer, m);
+  }
+  // Locals into the combined array while ghosts arrive.
+  std::memcpy(p.all_pos.data(), p.pos.data(), bytes);
+  // Wait until every peer's watermark reaches this epoch, then install
+  // the epoch-parity slab into the working array.
+  for (std::size_t i = 0; i < p.halo_peers.size(); ++i) {
+    while (p.peer_epoch[i].load() < epoch) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+  }
+  const auto& slab = p.ghost_staging[epoch & 1];
+  const std::size_t nl = p.gid.size();
+  std::memcpy(p.all_pos.data() + nl, slab.data(),
+              slab.size() * sizeof(Vec3));
+}
+
+void ParallelMd::compute_short_range(cvs::Pe& pe, StepEnergies& e) {
+  Patch& p = *patches_[pe.rank()];
+  const bool trace = machine_.config().trace_utilization;
+  const std::uint64_t t0 = trace ? now_ns() : 0;
+  const std::size_t nl = p.gid.size();
+  p.force.assign(nl, {});
+
+  e.bond = compute_bonds(p.all_pos, p.bonds, sys_.box, p.force);
+  e.angle = compute_angles(p.all_pos, p.angles, sys_.box, p.force);
+
+  // Pair lists over locals + ghosts; ghost-ghost pairs are other owners'
+  // work; (local, ghost) pairs are one-sided with half energy.
+  PairBlock local_pairs, ghost_pairs;
+  ghost_pairs.newton = false;
+  const double cutoff2 = cfg_.cutoff * cfg_.cutoff;
+  CellList cells(p.all_pos, sys_.box, cfg_.cutoff);
+  auto excluded = [&](std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return std::binary_search(p.exclusions.begin(), p.exclusions.end(),
+                              std::make_pair(a, b));
+  };
+  cells.for_each_pair([&](std::uint32_t a, std::uint32_t b) {
+    const bool al = a < nl, bl = b < nl;
+    if (!al && !bl) return;  // ghost-ghost
+    const Vec3 d = sys_.min_image(p.all_pos[a], p.all_pos[b]);
+    if (d.norm2() > cutoff2) return;
+    if (al && bl) {
+      if (excluded(a, b)) return;
+      local_pairs.add(a, b, lj_.a(p.all_type[a], p.all_type[b]),
+                      lj_.b(p.all_type[a], p.all_type[b]));
+    } else {
+      const std::uint32_t loc = al ? a : b;
+      const std::uint32_t gho = al ? b : a;
+      ghost_pairs.add(loc, gho, lj_.a(p.all_type[loc], p.all_type[gho]),
+                      lj_.b(p.all_type[loc], p.all_type[gho]));
+    }
+  });
+
+  // Force array sized for locals only; ghost entries (never written in
+  // the non-newton block) still need slots for the kernel's indexing.
+  std::vector<Vec3> forces(p.all_pos.size());
+  auto kernel = cfg_.use_qpx ? compute_nonbonded_qpx
+                             : compute_nonbonded_scalar;
+  NonbondedEnergy e1 = kernel(p.all_pos, p.all_charge, local_pairs, table_,
+                              sys_.box, forces);
+  NonbondedEnergy e2 = kernel(p.all_pos, p.all_charge, ghost_pairs, table_,
+                              sys_.box, forces);
+  e.vdw = e1.vdw + e2.vdw;
+  e.elec_real = e1.elec_real + e2.elec_real;
+  for (std::size_t i = 0; i < nl; ++i) p.force[i] += forces[i];
+  if (trace) p.busy_spans.push_back({t0, now_ns(), 0});
+}
+
+void ParallelMd::spread_local(Patch& p, std::size_t rank) {
+  const std::size_t K = cfg_.pme_grid;
+  std::fill(p.spread_grid.begin(), p.spread_grid.end(), 0.0);
+  const double scale = static_cast<double>(K) / sys_.box;
+  // Patch origin in grid cells.
+  const std::size_t r = rank / g_, c = rank % g_;
+  const double ox = static_cast<double>(r * bk_);
+  const double oy = static_cast<double>(c * bk_);
+
+  double wx[4], wy[4], wz[4], dummy[4];
+  const auto P = static_cast<std::ptrdiff_t>(padded_);
+  for (std::size_t a = 0; a < p.gid.size(); ++a) {
+    const double ux = p.pos[a].x * scale;
+    const double uy = p.pos[a].y * scale;
+    const double uz = p.pos[a].z * scale;
+    bspline4(ux, wx, dummy);
+    bspline4(uy, wy, dummy);
+    bspline4(uz, wz, dummy);
+    // Patch-relative padded indices; wrap only in z.
+    const auto ix = static_cast<std::ptrdiff_t>(std::floor(ux - ox)) +
+                    static_cast<std::ptrdiff_t>(kPadLo);
+    const auto iy = static_cast<std::ptrdiff_t>(std::floor(uy - oy)) +
+                    static_cast<std::ptrdiff_t>(kPadLo);
+    const auto iz = static_cast<std::ptrdiff_t>(std::floor(uz));
+    if (ix - 3 < 0 || ix >= P || iy - 3 < 0 || iy >= P) {
+      throw std::runtime_error(
+          "atom drifted beyond the PME spread pad; shorten the run "
+          "segment or enlarge pads");
+    }
+    const auto Kz = static_cast<std::ptrdiff_t>(K);
+    const double q = p.charge[a];
+    for (int jx = 0; jx < 4; ++jx) {
+      const auto gx = static_cast<std::size_t>(ix - jx);
+      for (int jy = 0; jy < 4; ++jy) {
+        const auto gy = static_cast<std::size_t>(iy - jy);
+        const double qxy = q * wx[jx] * wy[jy];
+        double* line = &p.spread_grid[(gx * padded_ + gy) * K];
+        for (int jz = 0; jz < 4; ++jz) {
+          const auto gz =
+              static_cast<std::size_t>(((iz - jz) % Kz + Kz) % Kz);
+          line[gz] += qxy * wz[jz];
+        }
+      }
+    }
+  }
+}
+
+void ParallelMd::exchange_charges(cvs::Pe& pe) {
+  Patch& p = *patches_[pe.rank()];
+  const std::size_t K = cfg_.pme_grid;
+
+  // Own mid region accumulates straight into my FFT pencil.
+  auto* pencil = fft_->local_data(pe.rank());
+  for (std::size_t i = 0; i < bk_; ++i) {
+    for (std::size_t j = 0; j < bk_; ++j) {
+      const double* src =
+          &p.spread_grid[((i + kPadLo) * padded_ + (j + kPadLo)) * K];
+      fft::cplx* dst = pencil + fft_->z_index(i, j, 0);
+      for (std::size_t z = 0; z < K; ++z) {
+        dst[z] += fft::cplx(src[z], 0.0);
+      }
+    }
+  }
+
+  // Pack the 8 pad regions.
+  for (std::size_t r = 0; r < 8; ++r) {
+    const Region& reg = regions_[r];
+    double* out = p.charge_pack.data() + region_offset(r);
+    for (std::size_t i = 0; i < reg.nx; ++i) {
+      for (std::size_t j = 0; j < reg.ny; ++j) {
+        std::memcpy(out + (i * reg.ny + j) * K,
+                    &p.spread_grid[((reg.px0 + i) * padded_ +
+                                    (reg.py0 + j)) *
+                                   K],
+                    K * sizeof(double));
+      }
+    }
+  }
+
+  const std::uint64_t epoch = ++p.pme_epoch;
+  if (cfg_.transport == fft::Transport::kM2M) {
+    p.charge_handle->start();
+    while (!p.charge_handle->recv_done(epoch) ||
+           !p.charge_handle->send_done(epoch)) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+  } else {
+    for (std::size_t r = 0; r < 8; ++r) {
+      const auto bytes =
+          regions_[r].nx * regions_[r].ny * K * sizeof(double);
+      cvs::Message* m = pe.alloc_message(sizeof(GridHeader) + bytes,
+                                         charge_handler_);
+      GridHeader hdr{static_cast<std::uint32_t>(mirror(r))};
+      std::memcpy(m->payload(), &hdr, sizeof(hdr));
+      std::memcpy(m->payload() + sizeof(hdr),
+                  p.charge_pack.data() + region_offset(r), bytes);
+      pe.send_message(grid_neighbor(pe.rank(), regions_[r].dx,
+                                    regions_[r].dy),
+                      m);
+    }
+    while (!p.charges_arrived.reached(epoch * 8)) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+  }
+
+  // Accumulate arrived chunks: my recv slot s carries mirror(s) geometry,
+  // landing at that region's (gx0, gy0) in my pencil block.
+  for (std::size_t s = 0; s < 8; ++s) {
+    const std::size_t ms = mirror(s);
+    const Region& reg = regions_[ms];
+    const double* in = p.charge_recv.data() + region_offset(ms);
+    for (std::size_t i = 0; i < reg.nx; ++i) {
+      for (std::size_t j = 0; j < reg.ny; ++j) {
+        fft::cplx* dst =
+            pencil + fft_->z_index(reg.gx0 + i, reg.gy0 + j, 0);
+        const double* src = in + (i * reg.ny + j) * K;
+        for (std::size_t z = 0; z < K; ++z) {
+          dst[z] += fft::cplx(src[z], 0.0);
+        }
+      }
+    }
+  }
+}
+
+void ParallelMd::exchange_potentials(cvs::Pe& pe) {
+  Patch& p = *patches_[pe.rank()];
+  const std::size_t K = cfg_.pme_grid;
+  const auto* pencil = fft_->local_data(pe.rank());
+
+  // My own mid region.
+  for (std::size_t i = 0; i < bk_; ++i) {
+    for (std::size_t j = 0; j < bk_; ++j) {
+      double* dst =
+          &p.phi_grid[((i + kPadLo) * padded_ + (j + kPadLo)) * K];
+      const fft::cplx* src = pencil + fft_->z_index(i, j, 0);
+      for (std::size_t z = 0; z < K; ++z) dst[z] = src[z].real();
+    }
+  }
+
+  // Send each neighbour the chunk that is ITS pad region pointing at me.
+  for (std::size_t s = 0; s < 8; ++s) {
+    const std::size_t ms = mirror(s);
+    const Region& reg = regions_[ms];
+    double* out = p.pot_pack.data() + region_offset(ms);
+    for (std::size_t i = 0; i < reg.nx; ++i) {
+      for (std::size_t j = 0; j < reg.ny; ++j) {
+        const fft::cplx* src =
+            pencil + fft_->z_index(reg.gx0 + i, reg.gy0 + j, 0);
+        double* line = out + (i * reg.ny + j) * K;
+        for (std::size_t z = 0; z < K; ++z) line[z] = src[z].real();
+      }
+    }
+  }
+
+  const std::uint64_t epoch = p.pme_epoch;  // same epoch as charges
+  if (cfg_.transport == fft::Transport::kM2M) {
+    p.pot_handle->start();
+    while (!p.pot_handle->recv_done(epoch) ||
+           !p.pot_handle->send_done(epoch)) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+  } else {
+    for (std::size_t s = 0; s < 8; ++s) {
+      const std::size_t ms = mirror(s);
+      const auto bytes =
+          regions_[ms].nx * regions_[ms].ny * K * sizeof(double);
+      cvs::Message* m =
+          pe.alloc_message(sizeof(GridHeader) + bytes, pot_handler_);
+      GridHeader hdr{static_cast<std::uint32_t>(ms)};
+      std::memcpy(m->payload(), &hdr, sizeof(hdr));
+      std::memcpy(m->payload() + sizeof(hdr),
+                  p.pot_pack.data() + region_offset(ms), bytes);
+      pe.send_message(
+          grid_neighbor(pe.rank(), -regions_[ms].dx, -regions_[ms].dy), m);
+    }
+    while (!p.potentials_arrived.reached(epoch * 8)) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+  }
+
+  // Unpack my pad regions.
+  for (std::size_t r = 0; r < 8; ++r) {
+    const Region& reg = regions_[r];
+    const double* in = p.pot_recv.data() + region_offset(r);
+    for (std::size_t i = 0; i < reg.nx; ++i) {
+      for (std::size_t j = 0; j < reg.ny; ++j) {
+        std::memcpy(&p.phi_grid[((reg.px0 + i) * padded_ +
+                                 (reg.py0 + j)) *
+                                K],
+                    in + (i * reg.ny + j) * K, K * sizeof(double));
+      }
+    }
+  }
+}
+
+void ParallelMd::interpolate_recip_forces(Patch& p, std::size_t rank) {
+  const std::size_t K = cfg_.pme_grid;
+  const double scale = static_cast<double>(K) / sys_.box;
+  const std::size_t r = rank / g_, c = rank % g_;
+  const double ox = static_cast<double>(r * bk_);
+  const double oy = static_cast<double>(c * bk_);
+
+  p.recip_force.assign(p.gid.size(), {});
+  double wx[4], wy[4], wz[4], dwx[4], dwy[4], dwz[4];
+  const auto Kz = static_cast<std::ptrdiff_t>(K);
+  for (std::size_t a = 0; a < p.gid.size(); ++a) {
+    const double ux = p.pos[a].x * scale;
+    const double uy = p.pos[a].y * scale;
+    const double uz = p.pos[a].z * scale;
+    bspline4(ux, wx, dwx);
+    bspline4(uy, wy, dwy);
+    bspline4(uz, wz, dwz);
+    const auto ix = static_cast<std::ptrdiff_t>(std::floor(ux - ox)) +
+                    static_cast<std::ptrdiff_t>(kPadLo);
+    const auto iy = static_cast<std::ptrdiff_t>(std::floor(uy - oy)) +
+                    static_cast<std::ptrdiff_t>(kPadLo);
+    const auto iz = static_cast<std::ptrdiff_t>(std::floor(uz));
+    const double q = p.charge[a];
+    Vec3 f{};
+    for (int jx = 0; jx < 4; ++jx) {
+      const auto gx = static_cast<std::size_t>(ix - jx);
+      for (int jy = 0; jy < 4; ++jy) {
+        const auto gy = static_cast<std::size_t>(iy - jy);
+        const double* line = &p.phi_grid[(gx * padded_ + gy) * K];
+        for (int jz = 0; jz < 4; ++jz) {
+          const auto gz =
+              static_cast<std::size_t>(((iz - jz) % Kz + Kz) % Kz);
+          const double phi = line[gz];
+          f.x -= q * phi * dwx[jx] * wy[jy] * wz[jz] * scale;
+          f.y -= q * phi * wx[jx] * dwy[jy] * wz[jz] * scale;
+          f.z -= q * phi * wx[jx] * wy[jy] * dwz[jz] * scale;
+        }
+      }
+    }
+    p.recip_force[a] += f;
+  }
+}
+
+void ParallelMd::apply_exclusion_corrections(Patch& p, StepEnergies& e) {
+  using std::numbers::pi;
+  const double beta = cfg_.beta;
+  for (const auto& [a, b] : p.exclusions) {
+    const Vec3 d = sys_.min_image(p.pos[a], p.pos[b]);
+    const double r2 = d.norm2();
+    const double r = std::sqrt(r2);
+    const double A = kCoulomb * p.charge[a] * p.charge[b];
+    const double erf_term = std::erf(beta * r);
+    e.excl_corr += -A * erf_term / r;
+    const double fscalar =
+        A * ((2.0 * beta / std::sqrt(pi)) * std::exp(-beta * beta * r2) /
+                 r2 -
+             erf_term / (r2 * r));
+    const Vec3 fv = d * fscalar;
+    p.recip_force[a] += fv;
+    p.recip_force[b] -= fv;
+  }
+}
+
+void ParallelMd::compute_pme(cvs::Pe& pe, StepEnergies& e) {
+  Patch& p = *patches_[pe.rank()];
+  const bool trace = machine_.config().trace_utilization;
+  const std::uint64_t t0 = trace ? now_ns() : 0;
+  const std::size_t K = cfg_.pme_grid;
+
+  // Zero my pencil, then spread + exchange charges into it.
+  auto* pencil = fft_->local_data(pe.rank());
+  std::fill(pencil, pencil + fft_->local_elems(), fft::cplx(0, 0));
+  spread_local(p, pe.rank());
+  exchange_charges(pe);
+
+  fft_->forward(pe);
+
+  // K-space: I own modes (all mx, my in my row block, mz in my col block).
+  const std::size_t r = pe.rank() / g_, c = pe.rank() % g_;
+  double energy = 0;
+  for (std::size_t by = 0; by < bk_; ++by) {
+    for (std::size_t bz = 0; bz < bk_; ++bz) {
+      fft::cplx* line = pencil + fft_->x_index(by, bz, 0);
+      const std::size_t my = r * bk_ + by, mz = c * bk_ + bz;
+      for (std::size_t mx = 0; mx < K; ++mx) {
+        const double factor = pme_.kspace_factor(mx, my, mz);
+        energy += 0.5 * factor * std::norm(line[mx]);
+        line[mx] *= factor;
+      }
+    }
+  }
+  e.recip = energy;
+
+  fft_->backward(pe);
+  exchange_potentials(pe);
+  interpolate_recip_forces(p, pe.rank());
+  apply_exclusion_corrections(p, e);
+  if (trace) p.busy_spans.push_back({t0, now_ns(), 1});
+}
+
+// ---------------------------------------------------------------------------
+// Integration
+// ---------------------------------------------------------------------------
+
+void ParallelMd::run_steps(cvs::Pe& pe, unsigned nsteps) {
+  if (nsteps % cfg_.pme_every != 0) {
+    throw std::invalid_argument("nsteps must be a multiple of pme_every");
+  }
+  Patch& p = *patches_[pe.rank()];
+  const double dt = cfg_.dt;
+  const unsigned k = cfg_.pme_every;
+
+  auto fast_kick = [&](double h) {
+    for (std::size_t i = 0; i < p.gid.size(); ++i) {
+      p.vel[i] += p.force[i] * (h * kForceToAccel / p.mass[i]);
+    }
+  };
+  auto slow_kick = [&](double h) {
+    for (std::size_t i = 0; i < p.gid.size(); ++i) {
+      p.vel[i] += p.recip_force[i] * (h * kForceToAccel / p.mass[i]);
+    }
+  };
+  auto drift = [&] {
+    for (std::size_t i = 0; i < p.gid.size(); ++i) {
+      p.pos[i] += p.vel[i] * dt;
+    }
+  };
+
+  if (!p.forces_ready) {
+    exchange_positions(pe);
+    StepEnergies e0{};
+    compute_short_range(pe, e0);
+    compute_pme(pe, e0);
+    p.forces_ready = true;
+  }
+
+  for (unsigned outer = 0; outer < nsteps / k; ++outer) {
+    slow_kick(k * dt / 2);
+    StepEnergies e{};
+    for (unsigned inner = 0; inner < k; ++inner) {
+      fast_kick(dt / 2);
+      drift();
+      exchange_positions(pe);
+      e = StepEnergies{};
+      compute_short_range(pe, e);
+      fast_kick(dt / 2);
+    }
+    StepEnergies e_pme{};
+    compute_pme(pe, e_pme);
+    slow_kick(k * dt / 2);
+
+    e.recip = e_pme.recip;
+    e.excl_corr = e_pme.excl_corr;
+    e.kinetic = kinetic_energy(p.vel, p.mass);
+    energy_log_[pe.rank()].push_back(e);
+  }
+}
+
+StepEnergies ParallelMd::total_energies(std::size_t step) const {
+  StepEnergies t{};
+  for (const auto& log : energy_log_) {
+    const StepEnergies& e = log[step];
+    t.bond += e.bond;
+    t.angle += e.angle;
+    t.vdw += e.vdw;
+    t.elec_real += e.elec_real;
+    t.excl_corr += e.excl_corr;
+    t.recip += e.recip;
+    t.kinetic += e.kinetic;
+  }
+  return t;
+}
+
+}  // namespace bgq::md

@@ -1,0 +1,212 @@
+// Parallel mini-NAMD driver (§IV-B): spatial decomposition over the
+// Converse runtime, cutoff nonbonded + bonded forces, and a distributed
+// smooth-PME long-range solver with the paper's two communication
+// strategies (point-to-point messages vs persistent many-to-many).
+//
+// Decomposition: PEs form a G x G grid over (x, y); each PE owns the
+// molecules whose first atom sits in its column of the box (all z).  The
+// same G x G grid owns the PME charge-grid pencils, so the PME charge /
+// potential exchanges are the 8-neighbour boundary transfers NAMD's PME
+// performs, and the 3-D FFT is the in-repo Pencil3DFFT.
+//
+// Multiple timestepping (the paper's "PME every 4 steps") follows the
+// impulse scheme: reciprocal forces are applied on PME steps scaled by
+// pme_every.
+//
+// Simplifications vs full NAMD, documented in DESIGN.md: no atom
+// migration between patches during a run segment (runs are short), bond
+// and angle terms but no dihedrals, single charge grid (which matches the
+// paper's *optimized* PME).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "converse/machine.hpp"
+#include "fft/pencil3d.hpp"
+#include "l2atomic/completion.hpp"
+#include "l2atomic/l2_atomic.hpp"
+#include "m2m/manytomany.hpp"
+#include "md/kernels.hpp"
+#include "md/pme_serial.hpp"
+#include "md/system.hpp"
+#include "md/tables.hpp"
+
+namespace bgq::md {
+
+struct MdConfig {
+  double cutoff = 10.0;        ///< A (ApoA1 runs used 12)
+  double switch_dist = 8.5;
+  double beta = 0.34;          ///< Ewald splitting parameter
+  std::size_t pme_grid = 32;   ///< K, divisible by G, 2,3,5-smooth
+  unsigned pme_every = 4;      ///< MTS interval (1 = every step)
+  double dt = 1.0;             ///< fs
+  fft::Transport transport = fft::Transport::kP2P;
+  bool use_qpx = true;         ///< nonbonded kernel selection
+  std::uint32_t m2m_tag_base = 200;  ///< tags for PME grid exchanges
+};
+
+/// A busy interval on a PE (host ns), tagged by phase for the Fig. 9/10
+/// time profiles: 0 = cutoff/integration work, 1 = PME work.
+struct BusySpan {
+  std::uint64_t t0, t1;
+  int phase;
+};
+
+/// Per-step energy ledger (per PE; sum across PEs for totals).
+struct StepEnergies {
+  double bond = 0;
+  double angle = 0;
+  double vdw = 0;
+  double elec_real = 0;
+  double excl_corr = 0;  ///< reciprocal-space exclusion correction
+  double recip = 0;      ///< this PE's share of the PME energy
+  double kinetic = 0;
+
+  double potential() const {
+    return bond + angle + vdw + elec_real + excl_corr + recip;
+  }
+  double total() const { return potential() + kinetic; }
+};
+
+class ParallelMd {
+ public:
+  /// Construct before Machine::run().  `coord` is required (both PME
+  /// transports register many-to-many handles only in kM2M mode, but the
+  /// coordinator also provides the p2p handler space).
+  ParallelMd(cvs::Machine& machine, m2m::Coordinator* coord, System sys,
+             MdConfig cfg);
+
+  /// Collective: every PE runs `nsteps` velocity-Verlet steps.
+  void run_steps(cvs::Pe& pe, unsigned nsteps);
+
+  /// Per-PE energy ledger for step s of the last run (indexed from 0).
+  const StepEnergies& energies(cvs::PeRank pe, std::size_t step) const {
+    return energy_log_[pe][step];
+  }
+  std::size_t steps_logged() const {
+    return energy_log_.empty() ? 0 : energy_log_[0].size();
+  }
+
+  /// Sum of a step's ledger over all PEs (call after run()).
+  StepEnergies total_energies(std::size_t step) const;
+
+  const MdConfig& config() const noexcept { return cfg_; }
+  std::size_t local_atoms(cvs::PeRank pe) const {
+    return patches_[pe]->gid.size();
+  }
+
+  /// Self energy constant (added once to reported electrostatics).
+  double self_energy() const { return self_energy_; }
+
+  /// Busy spans recorded when the machine was built with
+  /// trace_utilization (the Fig. 9/10 profile source).
+  const std::vector<BusySpan>& busy_spans(cvs::PeRank pe) const {
+    return patches_[pe]->busy_spans;
+  }
+
+ private:
+  struct Patch;
+
+  // Step phases.
+  void exchange_positions(cvs::Pe& pe);
+  void compute_short_range(cvs::Pe& pe, StepEnergies& e);
+  void compute_pme(cvs::Pe& pe, StepEnergies& e);
+  void spread_local(Patch& p, std::size_t rank);
+  void exchange_charges(cvs::Pe& pe);
+  void exchange_potentials(cvs::Pe& pe);
+  void interpolate_recip_forces(Patch& p, std::size_t rank);
+  void apply_exclusion_corrections(Patch& p, StepEnergies& e);
+
+  // Grid-exchange helpers.
+  struct Region {
+    int dx, dy;                  ///< neighbour offset
+    std::size_t px0, py0;        ///< origin in my padded grid
+    std::size_t nx, ny;          ///< extent (z extent is always K)
+    std::size_t gx0, gy0;        ///< origin in the neighbour's pencil block
+  };
+  void build_regions();
+  cvs::PeRank grid_neighbor(cvs::PeRank pe, int dx, int dy) const;
+
+  cvs::Machine& machine_;
+  m2m::Coordinator* coord_;
+  MdConfig cfg_;
+  System sys_;  // global system (reference copy; patches hold the state)
+
+  std::size_t g_ = 0;       ///< PE grid dimension
+  std::size_t bk_ = 0;      ///< PME pencil block (K / G)
+  double patch_w_ = 0;      ///< box / G
+
+  // Padded spread grid geometry: x,y in [-kPadLo, B + kPadHi).
+  static constexpr std::size_t kPadLo = 5;
+  static constexpr std::size_t kPadHi = 3;
+  std::size_t padded_ = 0;  ///< bk_ + kPadLo + kPadHi
+
+  ForceTable table_;
+  LjPairTable lj_;
+  PmeSerial pme_;  // reused for weights/kspace factors
+  std::unique_ptr<fft::Pencil3DFFT> fft_;
+  double self_energy_ = 0;
+
+  std::vector<Region> regions_;
+
+  struct Patch {
+    // Owned atoms (global ids + state).
+    std::vector<std::uint32_t> gid;
+    std::vector<Vec3> pos, vel, force;
+    std::vector<double> charge, mass;
+    std::vector<std::uint16_t> type;
+    std::vector<Bond> bonds;          ///< re-indexed to local ids
+    std::vector<Angle> angles;        ///< re-indexed to local ids
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> exclusions;
+
+    // Ghosts (appended to pos/charge/type when computing).
+    std::vector<cvs::PeRank> halo_peers;
+    std::vector<std::uint32_t> ghost_gid;
+    std::vector<Vec3> all_pos;        ///< locals + ghosts
+    std::vector<double> all_charge;
+    std::vector<std::uint16_t> all_type;
+    std::vector<std::size_t> ghost_offset;  ///< per peer, into ghosts
+    std::vector<std::size_t> ghost_count;   ///< per peer
+
+    // Halo staging: a fast peer may send step e+1 before we consumed its
+    // step-e positions, so arrivals land in an epoch-parity slab and are
+    // copied into all_pos only once every peer's watermark reaches the
+    // epoch being waited on (peer skew is bounded by 2, so two slabs
+    // suffice).
+    std::vector<Vec3> ghost_staging[2];
+    std::unique_ptr<l2::AtomicWord[]> peer_epoch;  ///< per-peer watermark
+    std::uint64_t halo_epoch = 0;
+
+    // PME state.
+    std::vector<double> spread_grid;  ///< padded^2 * K
+    std::vector<double> phi_grid;     ///< padded^2 * K
+    l2::CompletionCounter charges_arrived;
+    l2::CompletionCounter potentials_arrived;
+    std::uint64_t pme_epoch = 0;
+    std::vector<double> charge_pack;  ///< per-region staging, charge send
+    std::vector<double> charge_recv;
+    std::vector<double> pot_pack;
+    std::vector<double> pot_recv;
+    m2m::Handle* charge_handle = nullptr;
+    m2m::Handle* pot_handle = nullptr;
+
+    std::vector<Vec3> recip_force;
+    std::vector<BusySpan> busy_spans;
+
+    bool forces_ready = false;
+  };
+
+  cvs::HandlerId halo_handler_ = 0;
+  cvs::HandlerId charge_handler_ = 0;
+  cvs::HandlerId pot_handler_ = 0;
+
+  std::vector<std::unique_ptr<Patch>> patches_;
+  std::vector<std::vector<StepEnergies>> energy_log_;
+
+  std::size_t region_offset(std::size_t r) const;
+};
+
+}  // namespace bgq::md

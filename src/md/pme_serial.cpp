@@ -1,0 +1,224 @@
+#include "md/pme_serial.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bgq::md {
+
+using std::numbers::pi;
+using cplx = std::complex<double>;
+
+namespace {
+
+/// Cardinal B-spline M4(t) on [0,4) and its derivative.
+inline void m4(double t, double& v, double& d) {
+  if (t < 1.0) {
+    v = t * t * t / 6.0;
+    d = t * t / 2.0;
+  } else if (t < 2.0) {
+    v = (-3 * t * t * t + 12 * t * t - 12 * t + 4) / 6.0;
+    d = (-9 * t * t + 24 * t - 12) / 6.0;
+  } else if (t < 3.0) {
+    v = (3 * t * t * t - 24 * t * t + 60 * t - 44) / 6.0;
+    d = (9 * t * t - 48 * t + 60) / 6.0;
+  } else {
+    const double s = 4.0 - t;
+    v = s * s * s / 6.0;
+    d = -s * s / 2.0;
+  }
+}
+
+}  // namespace
+
+void bspline4(double u, double w[4], double dw[4]) {
+  const double f = u - std::floor(u);
+  for (int j = 0; j < 4; ++j) m4(f + j, w[j], dw[j]);
+}
+
+PmeSerial::PmeSerial(std::size_t grid, double beta, double box)
+    : k_(grid), beta_(beta), box_(box), plan_(grid) {
+  if (!fft::Fft1D::smooth(grid) || grid < 4) {
+    throw std::invalid_argument("PME grid must be 2,3,5-smooth and >= 4");
+  }
+  // |b(m)|^2 per dimension: b(m) = e^{2 pi i (n-1) m / K} / sum_{j=0}^{n-2}
+  // M4(j+1) e^{2 pi i m j / K}; store its squared modulus.
+  bsp_mod_.resize(k_);
+  const double m4_vals[3] = {1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0};
+  for (std::size_t m = 0; m < k_; ++m) {
+    cplx denom(0, 0);
+    for (int j = 0; j < 3; ++j) {
+      const double ang = 2.0 * pi * static_cast<double>(m) * j /
+                         static_cast<double>(k_);
+      denom += m4_vals[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    const double n2 = std::norm(denom);
+    // Even-order splines cannot represent the Nyquist mode; kill it.
+    bsp_mod_[m] = n2 < 1e-10 ? 0.0 : 1.0 / n2;
+  }
+}
+
+double PmeSerial::self_energy(const std::vector<double>& charge) const {
+  double q2 = 0;
+  for (double q : charge) q2 += q * q;
+  return -kCoulomb * beta_ / std::sqrt(pi) * q2;
+}
+
+void PmeSerial::spread(const std::vector<Vec3>& pos,
+                       const std::vector<double>& charge,
+                       std::vector<double>& grid_q) const {
+  const auto K = static_cast<std::ptrdiff_t>(k_);
+  grid_q.assign(k_ * k_ * k_, 0.0);
+  const double scale = static_cast<double>(k_) / box_;
+  double wx[4], wy[4], wz[4], dummy[4];
+  for (std::size_t a = 0; a < pos.size(); ++a) {
+    const double ux = pos[a].x * scale;
+    const double uy = pos[a].y * scale;
+    const double uz = pos[a].z * scale;
+    bspline4(ux, wx, dummy);
+    bspline4(uy, wy, dummy);
+    bspline4(uz, wz, dummy);
+    const auto ix = static_cast<std::ptrdiff_t>(std::floor(ux));
+    const auto iy = static_cast<std::ptrdiff_t>(std::floor(uy));
+    const auto iz = static_cast<std::ptrdiff_t>(std::floor(uz));
+    const double q = charge[a];
+    for (int jx = 0; jx < 4; ++jx) {
+      const std::size_t gx = static_cast<std::size_t>(
+          ((ix - jx) % K + K) % K);
+      for (int jy = 0; jy < 4; ++jy) {
+        const std::size_t gy = static_cast<std::size_t>(
+            ((iy - jy) % K + K) % K);
+        const double qxy = q * wx[jx] * wy[jy];
+        for (int jz = 0; jz < 4; ++jz) {
+          const std::size_t gz = static_cast<std::size_t>(
+              ((iz - jz) % K + K) % K);
+          grid_q[(gx * k_ + gy) * k_ + gz] += qxy * wz[jz];
+        }
+      }
+    }
+  }
+}
+
+double PmeSerial::kspace_factor(std::size_t mx, std::size_t my,
+                                std::size_t mz) const {
+  if (mx == 0 && my == 0 && mz == 0) return 0.0;
+  auto fold = [this](std::size_t m) {
+    return m <= k_ / 2 ? static_cast<double>(m)
+                       : static_cast<double>(m) - static_cast<double>(k_);
+  };
+  const double gx = 2.0 * pi * fold(mx) / box_;
+  const double gy = 2.0 * pi * fold(my) / box_;
+  const double gz = 2.0 * pi * fold(mz) / box_;
+  const double k2 = gx * gx + gy * gy + gz * gz;
+  const double volume = box_ * box_ * box_;
+  const double b = bsp_mod_[mx] * bsp_mod_[my] * bsp_mod_[mz];
+  return kCoulomb / volume * 4.0 * pi / k2 *
+         std::exp(-k2 / (4.0 * beta_ * beta_)) * b;
+}
+
+double PmeSerial::kspace_multiply(std::vector<cplx>& t) const {
+  double energy = 0;
+  for (std::size_t mx = 0; mx < k_; ++mx) {
+    for (std::size_t my = 0; my < k_; ++my) {
+      for (std::size_t mz = 0; mz < k_; ++mz) {
+        const std::size_t idx = (mx * k_ + my) * k_ + mz;
+        const double factor = kspace_factor(mx, my, mz);
+        energy += 0.5 * factor * std::norm(t[idx]);
+        t[idx] *= factor;
+      }
+    }
+  }
+  return energy;
+}
+
+void PmeSerial::interpolate_forces(const std::vector<Vec3>& pos,
+                                   const std::vector<double>& charge,
+                                   const std::vector<double>& phi,
+                                   std::vector<Vec3>& force) const {
+  const auto K = static_cast<std::ptrdiff_t>(k_);
+  const double scale = static_cast<double>(k_) / box_;
+  double wx[4], wy[4], wz[4], dwx[4], dwy[4], dwz[4];
+  for (std::size_t a = 0; a < pos.size(); ++a) {
+    bspline4(pos[a].x * scale, wx, dwx);
+    bspline4(pos[a].y * scale, wy, dwy);
+    bspline4(pos[a].z * scale, wz, dwz);
+    const auto ix =
+        static_cast<std::ptrdiff_t>(std::floor(pos[a].x * scale));
+    const auto iy =
+        static_cast<std::ptrdiff_t>(std::floor(pos[a].y * scale));
+    const auto iz =
+        static_cast<std::ptrdiff_t>(std::floor(pos[a].z * scale));
+    const double q = charge[a];
+    Vec3 f{};
+    for (int jx = 0; jx < 4; ++jx) {
+      const std::size_t gx =
+          static_cast<std::size_t>(((ix - jx) % K + K) % K);
+      for (int jy = 0; jy < 4; ++jy) {
+        const std::size_t gy =
+            static_cast<std::size_t>(((iy - jy) % K + K) % K);
+        for (int jz = 0; jz < 4; ++jz) {
+          const std::size_t gz =
+              static_cast<std::size_t>(((iz - jz) % K + K) % K);
+          const double p = phi[(gx * k_ + gy) * k_ + gz];
+          f.x -= q * p * dwx[jx] * wy[jy] * wz[jz] * scale;
+          f.y -= q * p * wx[jx] * dwy[jy] * wz[jz] * scale;
+          f.z -= q * p * wx[jx] * wy[jy] * dwz[jz] * scale;
+        }
+      }
+    }
+    force[a] += f;
+  }
+}
+
+PmeSerial::Result PmeSerial::compute(const std::vector<Vec3>& pos,
+                                     const std::vector<double>& charge) {
+  Result out;
+  out.force.assign(pos.size(), {});
+
+  std::vector<double> grid_q;
+  spread(pos, charge, grid_q);
+
+  std::vector<cplx> t(grid_q.begin(), grid_q.end());
+  // Forward 3-D DFT: z lines are contiguous; y and x via gather/scatter.
+  const std::size_t K = k_;
+  for (std::size_t x = 0; x < K; ++x)
+    for (std::size_t y = 0; y < K; ++y) plan_.forward(&t[(x * K + y) * K]);
+  std::vector<cplx> line(K);
+  for (std::size_t x = 0; x < K; ++x)
+    for (std::size_t z = 0; z < K; ++z) {
+      for (std::size_t y = 0; y < K; ++y) line[y] = t[(x * K + y) * K + z];
+      plan_.forward(line.data());
+      for (std::size_t y = 0; y < K; ++y) t[(x * K + y) * K + z] = line[y];
+    }
+  for (std::size_t y = 0; y < K; ++y)
+    for (std::size_t z = 0; z < K; ++z) {
+      for (std::size_t x = 0; x < K; ++x) line[x] = t[(x * K + y) * K + z];
+      plan_.forward(line.data());
+      for (std::size_t x = 0; x < K; ++x) t[(x * K + y) * K + z] = line[x];
+    }
+
+  out.e_recip = kspace_multiply(t);
+
+  // Unscaled inverse transform back to the potential grid.
+  for (std::size_t x = 0; x < K; ++x)
+    for (std::size_t y = 0; y < K; ++y) plan_.backward(&t[(x * K + y) * K]);
+  for (std::size_t x = 0; x < K; ++x)
+    for (std::size_t z = 0; z < K; ++z) {
+      for (std::size_t y = 0; y < K; ++y) line[y] = t[(x * K + y) * K + z];
+      plan_.backward(line.data());
+      for (std::size_t y = 0; y < K; ++y) t[(x * K + y) * K + z] = line[y];
+    }
+  for (std::size_t y = 0; y < K; ++y)
+    for (std::size_t z = 0; z < K; ++z) {
+      for (std::size_t x = 0; x < K; ++x) line[x] = t[(x * K + y) * K + z];
+      plan_.backward(line.data());
+      for (std::size_t x = 0; x < K; ++x) t[(x * K + y) * K + z] = line[x];
+    }
+
+  std::vector<double> phi(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) phi[i] = t[i].real();
+  interpolate_forces(pos, charge, phi, out.force);
+  return out;
+}
+
+}  // namespace bgq::md

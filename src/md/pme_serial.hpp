@@ -1,0 +1,76 @@
+// Serial smooth Particle-Mesh Ewald (Essmann et al.) — the reference PME
+// whose reciprocal energy/forces the parallel implementation must match,
+// and the validation target against the naive Ewald sum.
+//
+// 4th-order (cubic) B-spline charge assignment, 3-D FFT via the in-repo
+// mixed-radix kernel, k-space convolution with B-spline deconvolution.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "md/system.hpp"
+
+namespace bgq::md {
+
+/// Order-4 cardinal B-spline weights and derivatives for fractional
+/// position u in grid units.  w[j] multiplies grid point floor(u) - j
+/// (j = 0..3); dw is d(w)/du.
+void bspline4(double u, double w[4], double dw[4]);
+
+class PmeSerial {
+ public:
+  /// `grid`: points per dimension (2,3,5-smooth).  `beta`: Ewald split.
+  PmeSerial(std::size_t grid, double beta, double box);
+
+  std::size_t grid() const noexcept { return k_; }
+  double beta() const noexcept { return beta_; }
+
+  struct Result {
+    double e_recip = 0;
+    std::vector<Vec3> force;
+  };
+
+  /// Full reciprocal-space computation for the given charges/positions.
+  Result compute(const std::vector<Vec3>& pos,
+                 const std::vector<double>& charge);
+
+  /// Self-energy correction matching this beta.
+  double self_energy(const std::vector<double>& charge) const;
+
+  // ---- exposed stages (the parallel PME reuses these) -------------------
+
+  /// Stage 1: spread charges onto the (zeroed) K^3 grid, layout
+  /// q[(gx*K + gy)*K + gz].
+  void spread(const std::vector<Vec3>& pos,
+              const std::vector<double>& charge,
+              std::vector<double>& grid_q) const;
+
+  /// Stage 3: multiply the forward-transformed grid (same layout, complex)
+  /// by the Ewald/deconvolution kernel in place; returns reciprocal
+  /// energy.  `transform` layout: t[(mx*K + my)*K + mz].
+  double kspace_multiply(std::vector<std::complex<double>>& t) const;
+
+  /// The k-space factor for one mode (exposed for the distributed PME,
+  /// which owns only a pencil of modes).  Includes volume and Coulomb
+  /// constants; zero for the excluded modes.
+  double kspace_factor(std::size_t mx, std::size_t my,
+                       std::size_t mz) const;
+
+  /// Stage 5: interpolate forces from the real-space potential grid.
+  void interpolate_forces(const std::vector<Vec3>& pos,
+                          const std::vector<double>& charge,
+                          const std::vector<double>& phi,
+                          std::vector<Vec3>& force) const;
+
+ private:
+  std::size_t k_;
+  double beta_;
+  double box_;
+  std::vector<double> bsp_mod_;  ///< |b(m)|^-2 denominator per dimension
+  fft::Fft1D plan_;
+};
+
+}  // namespace bgq::md

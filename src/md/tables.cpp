@@ -1,0 +1,64 @@
+#include "md/tables.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bgq::md {
+
+ForceTable::ForceTable(double cutoff, double beta, double switch_dist,
+                       std::size_t bins)
+    : cutoff_(cutoff), beta_(beta), switch_dist_(switch_dist), bins_(bins) {
+  if (cutoff <= 0 || switch_dist <= 0 || switch_dist >= cutoff) {
+    throw std::invalid_argument("need 0 < switch_dist < cutoff");
+  }
+  if (bins < 16) throw std::invalid_argument("table too coarse");
+
+  r2_min_ = 1.0;  // below 1 A the table clamps (excluded/unphysical range)
+  const double r2_max = cutoff * cutoff;
+  const double step = (r2_max - r2_min_) / static_cast<double>(bins);
+  inv_step_ = 1.0 / step;
+
+  const double rc2 = cutoff * cutoff;
+  const double rs2 = switch_dist * switch_dist;
+  const double denom = (rc2 - rs2) * (rc2 - rs2) * (rc2 - rs2);
+
+  f_vdwA_.resize(bins + 1);
+  f_vdwB_.resize(bins + 1);
+  f_elec_.resize(bins + 1);
+  u_vdwA_.resize(bins + 1);
+  u_vdwB_.resize(bins + 1);
+  u_elec_.resize(bins + 1);
+
+  for (std::size_t k = 0; k <= bins; ++k) {
+    const double r2 = r2_min_ + step * static_cast<double>(k);
+    const double r = std::sqrt(r2);
+
+    // NAMD switching function S(r^2) and dS/d(r^2).
+    double s = 1.0, ds = 0.0;
+    if (r2 > rs2) {
+      const double a = rc2 - r2;
+      s = a * a * (rc2 + 2 * r2 - 3 * rs2) / denom;
+      ds = 6.0 * a * (rs2 - r2) / denom;
+    }
+
+    const double inv_r2 = 1.0 / r2;
+    const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    const double inv_r12 = inv_r6 * inv_r6;
+
+    u_vdwA_[k] = s * inv_r12;
+    u_vdwB_[k] = s * inv_r6;
+    // F = -dU/dr / r = -2 dU/d(r^2); U = S * g.
+    f_vdwA_[k] = 12.0 * s * inv_r12 * inv_r2 - 2.0 * ds * inv_r12;
+    f_vdwB_[k] = 6.0 * s * inv_r6 * inv_r2 - 2.0 * ds * inv_r6;
+
+    const double br = beta * r;
+    const double erfc_term = std::erfc(br);
+    u_elec_[k] = erfc_term / r;
+    f_elec_[k] = erfc_term / (r2 * r) +
+                 (2.0 * beta / std::sqrt(std::numbers::pi)) *
+                     std::exp(-br * br) * inv_r2;
+  }
+}
+
+}  // namespace bgq::md

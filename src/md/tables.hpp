@@ -1,0 +1,83 @@
+// NAMD-style interpolation tables for the nonbonded inner loop (§IV-B.1).
+//
+// NAMD evaluates Lennard-Jones and real-space (erfc) electrostatics via a
+// table indexed by r^2 — the "large interpolation table" whose L1P load
+// latency drove the paper's unroll/load-to-use-distance work.  We tabulate
+// six functions of r^2 on uniform bins with linear interpolation:
+//
+//   u_vdwA = S(r)/r^12          f_vdwA = 12 S/r^14 - 2 S'/r^12
+//   u_vdwB = S(r)/r^6           f_vdwB =  6 S/r^8  - 2 S'/r^6
+//   u_elec = erfc(br)/r         f_elec = erfc(br)/r^3
+//                                        + (2b/sqrt(pi)) e^{-b^2 r^2}/r^2
+//
+// where S is the NAMD C1 switching function between switch_dist and
+// cutoff (applied to van der Waals only; the erfc factor already decays
+// smoothly) and f is the scalar in F_vec = f * (ri - rj).  The kernel
+// multiplies by the pair's A, B and C*qi*qj.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bgq::md {
+
+class ForceTable {
+ public:
+  ForceTable(double cutoff, double beta, double switch_dist,
+             std::size_t bins = 4096);
+
+  double cutoff() const noexcept { return cutoff_; }
+  double cutoff2() const noexcept { return cutoff_ * cutoff_; }
+  double beta() const noexcept { return beta_; }
+  std::size_t bins() const noexcept { return bins_; }
+
+  struct Terms {
+    double f_vdwA, f_vdwB, f_elec;
+    double u_vdwA, u_vdwB, u_elec;
+  };
+
+  /// Interpolated terms at r2 (r2 <= cutoff^2; values below the table
+  /// floor clamp to the first bin, as NAMD does for unphysically close
+  /// contacts).
+  void lookup(double r2, Terms& t) const noexcept {
+    double x = (r2 - r2_min_) * inv_step_;
+    if (x < 0) x = 0;
+    auto k = static_cast<std::size_t>(x);
+    if (k >= bins_) k = bins_ - 1;
+    const double frac = x - static_cast<double>(k);
+    t.f_vdwA = lerp(f_vdwA_, k, frac);
+    t.f_vdwB = lerp(f_vdwB_, k, frac);
+    t.f_elec = lerp(f_elec_, k, frac);
+    t.u_vdwA = lerp(u_vdwA_, k, frac);
+    t.u_vdwB = lerp(u_vdwB_, k, frac);
+    t.u_elec = lerp(u_elec_, k, frac);
+  }
+
+  /// Bin coordinates for the QPX kernel's gathered lookups.
+  double r2_min() const noexcept { return r2_min_; }
+  double inv_step() const noexcept { return inv_step_; }
+  const double* f_vdwA() const noexcept { return f_vdwA_.data(); }
+  const double* f_vdwB() const noexcept { return f_vdwB_.data(); }
+  const double* f_elec() const noexcept { return f_elec_.data(); }
+  const double* u_vdwA() const noexcept { return u_vdwA_.data(); }
+  const double* u_vdwB() const noexcept { return u_vdwB_.data(); }
+  const double* u_elec() const noexcept { return u_elec_.data(); }
+
+ private:
+  static double lerp(const std::vector<double>& t, std::size_t k,
+                     double frac) noexcept {
+    return t[k] + frac * (t[k + 1] - t[k]);
+  }
+
+  double cutoff_;
+  double beta_;
+  double switch_dist_;
+  std::size_t bins_;
+  double r2_min_;
+  double inv_step_;
+  // bins_+1 samples each so bin bins_-1 can interpolate to the cutoff.
+  std::vector<double> f_vdwA_, f_vdwB_, f_elec_;
+  std::vector<double> u_vdwA_, u_vdwB_, u_elec_;
+};
+
+}  // namespace bgq::md

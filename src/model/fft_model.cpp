@@ -1,0 +1,154 @@
+#include "model/fft_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bgq::model {
+
+namespace {
+
+/// Balanced factorization nodes = g1 * g2 with g1 >= g2, both powers of
+/// the node count's factors (Table I uses power-of-two node counts).
+void pencil_grid(std::size_t nodes, std::size_t& g1, std::size_t& g2) {
+  g1 = 1;
+  g2 = 1;
+  std::size_t rem = nodes;
+  bool to_g1 = true;
+  while (rem > 1) {
+    std::size_t f = 2;
+    while (rem % f != 0) ++f;
+    (to_g1 ? g1 : g2) *= f;
+    to_g1 = !to_g1;
+    rem /= f;
+  }
+  if (g2 > g1) std::swap(g1, g2);
+}
+
+struct Msg {
+  sim::Time inj;
+  topo::NodeId src, dst;
+  std::size_t bytes;
+};
+
+}  // namespace
+
+FftResult simulate_fft(const FftRun& run) {
+  const std::size_t N = run.n;
+  std::size_t g1 = 0, g2 = 0;
+  pencil_grid(run.nodes, g1, g2);
+  // The pencil grid must divide the FFT grid; shrink to the nearest
+  // divisors (the leftover nodes idle during the FFT, exactly as NAMD's
+  // PME uses a subset of the machine for grid pencils).
+  while (g1 > 1 && N % g1 != 0) --g1;
+  while (g2 > 1 && N % g2 != 0) --g2;
+  const std::size_t active = g1 * g2;
+  if (active == 0 || N % g1 != 0 || N % g2 != 0) {
+    throw std::invalid_argument("grid must divide by the pencil grid");
+  }
+
+  const topo::Torus torus = topo::Torus::bgq_partition(run.nodes);
+  sim::PhaseNetwork net(torus, run.machine.net);
+  const RuntimeParams& rt = run.runtime;
+
+  // Per-node messaging CPU: workers inject in p2p mode; comm threads
+  // inject in m2m mode (several in parallel).
+  const unsigned injectors =
+      run.use_m2m ? std::max(1u, rt.comm_threads) : 1u;
+  std::vector<std::vector<sim::Server>> cpu(active);
+  for (auto& v : cpu) v.resize(injectors);
+
+  // One 1-D FFT pass over the node-local data (N^3 / active points).
+  const double pass_us = static_cast<double>(N) * N * N /
+                         static_cast<double>(active) *
+                         std::log2(static_cast<double>(N)) *
+                         run.machine.fft_point_cost_us /
+                         run.machine.node_throughput(run.workers);
+
+  std::vector<sim::Time> ready(active, 0.0);
+  double total_comm_cpu = 0;
+  double network_max = 0;
+
+  // Phases: row exchange, column exchange (forward), column, row (back).
+  // A compute pass precedes each phase and one follows the last.
+  const bool phase_is_row[4] = {true, false, false, true};
+
+  for (int phase = 0; phase < 4; ++phase) {
+    for (auto& r : ready) r += pass_us;  // FFT pass before the exchange
+
+    // Bulk-synchronous phase boundary: the next pass on any node needs
+    // blocks from every peer, and peers' sends depend on their own pass.
+    const sim::Time start = *std::max_element(ready.begin(), ready.end());
+
+    const std::size_t peers = phase_is_row[phase] ? g2 : g1;
+    const std::size_t bytes_total =
+        N * N * N / active * 16;  // complex<double>
+    const std::size_t msg_bytes = bytes_total / peers;
+
+    std::vector<Msg> msgs;
+    msgs.reserve(active * peers);
+    std::vector<sim::Time> inj_done(active, start);
+
+    for (std::size_t node = 0; node < active; ++node) {
+      const std::size_t r = node / g2, c = node % g2;
+      sim::Time burst_ready = start;
+      if (run.use_m2m) burst_ready += rt.m2m_burst_setup;
+
+      for (std::size_t i = 0; i < peers; ++i) {
+        const std::size_t peer_node =
+            phase_is_row[phase] ? r * g2 + i : i * g2 + c;
+        if (peer_node == node) continue;
+        const double send_cost =
+            run.use_m2m ? rt.m2m_per_message : rt.worker_send_cost();
+        sim::Server& inj_cpu = cpu[node][i % injectors];
+        const sim::Time inj = inj_cpu.submit(burst_ready, send_cost);
+        msgs.push_back({inj, static_cast<topo::NodeId>(node),
+                        static_cast<topo::NodeId>(peer_node), msg_bytes});
+        total_comm_cpu += send_cost;
+        inj_done[node] = std::max(inj_done[node], inj);
+      }
+      // In comm-thread p2p mode the comm threads also pay their share.
+      if (!run.use_m2m && rt.mode == Mode::kSmpCommThreads) {
+        const double ct_cost = rt.commthread_send_cost() *
+                               static_cast<double>(peers - 1) /
+                               std::max(1u, rt.comm_threads);
+        inj_done[node] += ct_cost;
+        total_comm_cpu += ct_cost;
+      }
+    }
+
+    // Network delivery in injection order (FCFS per link).
+    std::sort(msgs.begin(), msgs.end(),
+              [](const Msg& a, const Msg& b) { return a.inj < b.inj; });
+    std::vector<sim::Time> recv_done(active, start);
+    for (const Msg& m : msgs) {
+      const sim::Time arr = net.deliver(m.inj, m.src, m.dst, m.bytes);
+      const double recv_cost =
+          run.use_m2m
+              ? rt.m2m_per_message
+              : rt.poll_recv_cost() + rt.worker_sched_cost();
+      sim::Server& rcpu = cpu[m.dst][m.src % injectors];
+      const sim::Time done = rcpu.submit(arr, recv_cost);
+      recv_done[m.dst] = std::max(recv_done[m.dst], done);
+      total_comm_cpu += recv_cost;
+      network_max = std::max(network_max, arr - m.inj);
+    }
+
+    for (std::size_t node = 0; node < active; ++node) {
+      ready[node] = std::max(inj_done[node], recv_done[node]);
+    }
+  }
+
+  // Final compute passes (one per direction's last axis).
+  for (auto& r : ready) r += 2 * pass_us;
+
+  FftResult out;
+  out.step_us = *std::max_element(ready.begin(), ready.end());
+  out.compute_us = 6 * pass_us;
+  out.comm_cpu_us = total_comm_cpu / static_cast<double>(active);
+  out.network_us = network_max;
+  return out;
+}
+
+}  // namespace bgq::model

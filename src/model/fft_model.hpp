@@ -1,0 +1,40 @@
+// Scale-out model of the pencil-decomposed 3-D FFT (Table I).
+//
+// Replays the communication/computation structure of the Charm++ FFT
+// library (the same structure as src/fft's Pencil3DFFT) on the simulated
+// torus: P = G^2 pencil owners, four transpose phases per
+// forward+backward step, G messages of (N/G)^3 complex numbers per node
+// per phase, with per-message software costs from RuntimeParams and link
+// contention from sim::PhaseNetwork.
+#pragma once
+
+#include <cstddef>
+
+#include "model/params.hpp"
+#include "sim/phase_network.hpp"
+#include "topology/torus.hpp"
+
+namespace bgq::model {
+
+struct FftResult {
+  double step_us = 0;      ///< forward + backward wall time
+  double compute_us = 0;   ///< per-node 1-D FFT compute (serialized share)
+  double comm_cpu_us = 0;  ///< per-node software messaging cost
+  double network_us = 0;   ///< network residency of the slowest phase
+};
+
+/// Options for one Table-I cell.
+struct FftRun {
+  std::size_t n = 128;        ///< grid edge (N^3 total)
+  std::size_t nodes = 64;     ///< torus nodes (one pencil owner per node)
+  bool use_m2m = false;       ///< CmiDirectManytomany vs point-to-point
+  RuntimeParams runtime{};
+  MachineModel machine = MachineModel::bgq();
+  /// Worker threads doing FFT compute per node.
+  unsigned workers = 16;
+};
+
+/// Simulate one forward+backward complex-to-complex 3-D FFT.
+FftResult simulate_fft(const FftRun& run);
+
+}  // namespace bgq::model

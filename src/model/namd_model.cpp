@@ -1,0 +1,191 @@
+#include "model/namd_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgq::model {
+
+NamdSystem NamdSystem::apoa1() {
+  NamdSystem s;
+  s.name = "ApoA1";
+  s.natoms = 92224;
+  s.grid_x = 108;
+  s.grid_y = 108;
+  s.grid_z = 80;
+  s.pme_every = 4;
+  return s;
+}
+
+NamdSystem NamdSystem::stmv20m() {
+  NamdSystem s;
+  s.name = "STMV-20M";
+  s.natoms = 20e6;
+  s.grid_x = 216;
+  s.grid_y = 1080;
+  s.grid_z = 864;
+  s.pme_every = 4;
+  s.nonbonded_every = 2;
+  return s;
+}
+
+NamdSystem NamdSystem::stmv100m() {
+  NamdSystem s;
+  s.name = "STMV-100M";
+  s.natoms = 100e6;
+  s.grid_x = 1080;
+  s.grid_y = 1080;
+  s.grid_z = 864;
+  s.pme_every = 4;
+  s.nonbonded_every = 2;
+  return s;
+}
+
+namespace {
+
+bool smooth235(std::size_t n) {
+  for (std::size_t f : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    while (n % f == 0) n /= f;
+  }
+  return n == 1;
+}
+
+/// Nearest 2,3,5-smooth size (PME grids are smooth; the cube-equivalent
+/// edge must be too, or the pencil grid fractures).
+std::size_t nearest_smooth(std::size_t n) {
+  for (std::size_t d = 0; d <= n; ++d) {
+    if (smooth235(n - d)) return n - d;
+    if (smooth235(n + d)) return n + d;
+  }
+  return 4;
+}
+
+/// One-way short-message latency for the mode (paper Fig. 4 anchor).
+double one_way_latency(const RuntimeParams& rt, const MachineModel& m) {
+  return rt.worker_send_cost() + rt.commthread_send_cost() +
+         rt.poll_recv_cost() + rt.worker_sched_cost() +
+         m.net.base_latency_ns * 1e-3;
+}
+
+}  // namespace
+
+NamdStep simulate_namd_step(const NamdRun& run) {
+  const NamdSystem& sys = run.system;
+  const RuntimeParams& rt = run.runtime;
+  const MachineModel& mach = run.machine;
+  const double nodes = static_cast<double>(run.nodes);
+
+  NamdStep out;
+
+  // ---- compute -----------------------------------------------------------
+  // Half-shell pair count per atom at condensed-phase density.
+  const double density = 0.1;
+  const double pairs_per_atom =
+      0.5 * density * 4.0 / 3.0 * 3.14159265358979 * sys.cutoff *
+      sys.cutoff * sys.cutoff;
+  const double atoms_per_node = sys.natoms / nodes;
+  const double per_node_work_us =
+      atoms_per_node *
+      (pairs_per_atom * mach.pair_cost_us / mach.qpx_speedup /
+           sys.nonbonded_every +
+       mach.atom_cost_us);
+  out.compute_us = per_node_work_us / mach.node_throughput(run.workers);
+
+  // ---- cutoff-phase communication ----------------------------------------
+  const double patches = sys.natoms / sys.atoms_per_patch;
+  // Position multicasts + force reductions: ~26 neighbour transfers per
+  // patch; with more nodes than patches the computes are split and the
+  // per-node message count floors at the proxy fan-in/out.
+  //
+  // Non-SMP runs one process per hardware thread: every patch proxy is
+  // per-process, intra-node traffic loses the pointer-exchange path, and
+  // each single-threaded process services its own messages — this is the
+  // §III argument for SMP mode.  The effective endpoint count is
+  // processes, not nodes.
+  const double endpoints =
+      rt.mode == Mode::kNonSmp ? nodes * run.workers : nodes;
+  const double msgs_per_endpoint =
+      std::max(rt.mode == Mode::kNonSmp ? 14.0 : 30.0,
+               26.0 * 2.0 * patches / endpoints);
+  const double msgs_per_node =
+      msgs_per_endpoint * (endpoints / nodes);
+  const double bytes_per_msg =
+      std::min(sys.natoms / endpoints, sys.atoms_per_patch) * 48.0 * 0.5;
+
+  const topo::Torus torus = topo::Torus::bgq_partition(run.nodes);
+  const double avg_hops = torus.average_hops();
+
+  // Worker-side software cost; with comm threads the heavy part runs on
+  // the C comm threads in parallel.
+  const unsigned ct = std::max(1u, rt.comm_threads);
+  double sw_cpu = 0;
+  if (rt.mode == Mode::kSmpCommThreads) {
+    sw_cpu = msgs_per_node * rt.worker_send_cost() +
+             msgs_per_node *
+                 (rt.commthread_send_cost() + rt.poll_recv_cost()) / ct +
+             msgs_per_node * rt.worker_sched_cost() /
+                 std::max(1u, run.workers);
+  } else if (rt.mode == Mode::kNonSmp) {
+    // Each process's single thread services its own messages; the node's
+    // critical path is one process's share, not the node aggregate.
+    sw_cpu = msgs_per_endpoint * (rt.worker_send_cost() +
+                                  rt.poll_recv_cost() +
+                                  rt.worker_sched_cost());
+  } else {
+    sw_cpu = msgs_per_node *
+             (rt.worker_send_cost() + rt.poll_recv_cost() +
+              rt.worker_sched_cost()) /
+             std::max(1u, run.workers);
+  }
+
+  // Network: per-node halo volume over the node's 10 torus links, plus a
+  // dependency chain of multicast/reduction hops on the critical path.
+  const double halo_bytes = msgs_per_node * bytes_per_msg;
+  const double bw_node_us =
+      halo_bytes / (10.0 * mach.net.link_bandwidth_gb_s) * 1e-3;
+  const double net_us =
+      bw_node_us +
+      mach.net.wire_time_ns(static_cast<std::size_t>(bytes_per_msg),
+                            static_cast<int>(avg_hops)) *
+          1e-3;
+  const double chain_us = 6.0 * one_way_latency(rt, mach);
+
+  // Computation overlaps the network but not the software messaging.
+  out.cutoff_comm_us =
+      sw_cpu + chain_us + std::max(0.0, net_us - 0.7 * out.compute_us);
+
+  // ---- PME phase (amortized) ----------------------------------------------
+  const double grid_pts = static_cast<double>(sys.grid_x) * sys.grid_y *
+                          static_cast<double>(sys.grid_z);
+  FftRun fft;
+  fft.n = nearest_smooth(
+      static_cast<std::size_t>(std::llround(std::cbrt(grid_pts))));
+  // Pencil owners: at most one per node, at most one pencil per grid line.
+  fft.nodes = std::min<std::size_t>(
+      run.nodes, static_cast<std::size_t>(fft.n) * fft.n / 4);
+  fft.nodes = std::max<std::size_t>(fft.nodes, 4);
+  fft.use_m2m = run.m2m_pme;
+  fft.runtime = rt;
+  fft.machine = mach;
+  fft.workers = run.workers;
+  const FftResult fr = simulate_fft(fft);
+
+  // Charge-grid scatter + potential return: ~8 neighbour-region messages
+  // each way per node plus spreading/interpolation compute.
+  const double grid_msgs = 16.0;
+  const double grid_msg_cost =
+      run.m2m_pme
+          ? rt.m2m_burst_setup / 8.0 + rt.m2m_per_message
+          : rt.worker_send_cost() + rt.poll_recv_cost() +
+                rt.worker_sched_cost();
+  const double spread_us = atoms_per_node * 64.0 * 0.004 /
+                           mach.node_throughput(run.workers);
+  const double pme_phase_us = fr.step_us + grid_msgs * grid_msg_cost +
+                              2.0 * spread_us +
+                              4.0 * one_way_latency(rt, mach);
+  out.pme_us = pme_phase_us / sys.pme_every;
+
+  out.total_us = out.compute_us + out.cutoff_comm_us + out.pme_us;
+  return out;
+}
+
+}  // namespace bgq::model

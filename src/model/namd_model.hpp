@@ -1,0 +1,53 @@
+// Scale-out NAMD step-time model (Figs. 7, 8, 11, 12; Table II).
+//
+// Replays the per-step structure of NAMD on the machine model: patch
+// position multicasts and force reductions (cutoff phase, every step),
+// bonded/nonbonded/integration compute, and the PME long-range phase
+// (charge-grid exchange + pencil FFT + potential return) every
+// `pme_every` steps, with the FFT itself costed by simulate_fft.  The
+// absolute constants are calibrated to the paper's reported points (see
+// EXPERIMENTS.md); the *shape* — which configuration wins where, how m2m
+// and comm threads move the crossovers — emerges from the structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "model/fft_model.hpp"
+#include "model/params.hpp"
+
+namespace bgq::model {
+
+struct NamdSystem {
+  std::string name;
+  double natoms = 0;
+  std::size_t grid_x = 0, grid_y = 0, grid_z = 0;  ///< PME grid
+  double cutoff = 12.0;
+  unsigned pme_every = 4;
+  unsigned nonbonded_every = 1;  ///< STMV runs do nonbonded every 2 steps
+  double atoms_per_patch = 640;  ///< NAMD 2-away patch size at rc = 12
+
+  static NamdSystem apoa1();     ///< 92,224 atoms, 108x108x80 grid
+  static NamdSystem stmv20m();   ///< 20 M atoms, 216x1080x864 grid
+  static NamdSystem stmv100m();  ///< 100 M atoms, 1080x1080x864 grid
+};
+
+struct NamdRun {
+  NamdSystem system = NamdSystem::apoa1();
+  std::size_t nodes = 512;
+  unsigned workers = 48;  ///< worker threads per node
+  bool m2m_pme = false;   ///< optimized PME via CmiDirectManytomany
+  RuntimeParams runtime{};
+  MachineModel machine = MachineModel::bgq();
+};
+
+struct NamdStep {
+  double compute_us = 0;
+  double cutoff_comm_us = 0;  ///< software + network, cutoff phase
+  double pme_us = 0;          ///< amortized per step
+  double total_us = 0;
+};
+
+NamdStep simulate_namd_step(const NamdRun& run);
+
+}  // namespace bgq::model

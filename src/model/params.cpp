@@ -1,0 +1,25 @@
+#include "model/params.hpp"
+
+namespace bgq::model {
+
+MachineModel MachineModel::bgq() { return MachineModel{}; }
+
+MachineModel MachineModel::bgp() {
+  MachineModel m;
+  m.net = net::bgp_network_params();
+  m.cores = 4;
+  m.max_threads_per_core = 1;
+  m.smt_speedup[0] = 1.0;
+  m.smt_speedup[1] = 1.0;
+  m.smt_speedup[2] = 1.0;
+  m.smt_speedup[3] = 1.0;
+  // 850 MHz PPC450 vs 1.6 GHz A2 with QPX-capable pipelines: roughly a
+  // third of the per-thread arithmetic throughput on these kernels.
+  m.pair_cost_us = 0.021 * 3.0;
+  m.atom_cost_us = 0.012 * 3.0;
+  m.fft_point_cost_us = 0.004 * 3.0;
+  m.qpx_speedup = 1.0;  // no QPX on BG/P (double hummer ignored)
+  return m;
+}
+
+}  // namespace bgq::model

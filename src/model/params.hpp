@@ -1,0 +1,123 @@
+// Cost-model parameters for the scale-out simulations (src/model).
+//
+// Absolute BG/Q timings cannot be measured on this host, so the per-
+// message software costs are calibrated against the paper's own
+// micro-benchmarks (Fig. 4/5: 2.9/3.3/3.7 us one-way short-message
+// latency; Fig. 6 allocator costs; Fig. 8's ~67% L2-atomics effect at one
+// process per node) and the published BG/Q network characteristics (§II).
+// EXPERIMENTS.md records, per experiment, how the simulated shapes compare
+// with the paper's tables/figures.
+#pragma once
+
+#include <cstddef>
+
+#include "net/params.hpp"
+
+namespace bgq::model {
+
+/// Charm++ execution modes (paper §III).
+enum class Mode {
+  kNonSmp,
+  kSmp,
+  kSmpCommThreads,
+};
+
+/// Per-message software costs in microseconds.
+struct RuntimeParams {
+  double send_overhead = 0.85;     ///< alloc + Converse + PAMI send path
+  double recv_overhead = 0.80;     ///< dispatch + buffer alloc + copy
+  double scheduler_per_msg = 0.55; ///< Charm++ scheduler dequeue + handler
+  double smp_queue_hop = 0.20;     ///< lockless PE-queue enqueue/dequeue
+  double commthread_post = 0.15;   ///< work post to a comm thread
+  double commthread_wake = 0.25;   ///< wakeup-unit resume latency
+  double m2m_per_message = 0.30;   ///< per-send inside a registered burst
+  double m2m_burst_setup = 2.0;    ///< handle start/completion per burst
+  /// Fig. 8: mutex queues + glibc arena allocator instead of L2 atomics.
+  double l2_off_multiplier = 2.5;
+
+  bool use_l2_atomics = true;
+  Mode mode = Mode::kSmpCommThreads;
+  unsigned comm_threads = 8;  ///< per node (kSmpCommThreads)
+
+  double software_multiplier() const {
+    return use_l2_atomics ? 1.0 : l2_off_multiplier;
+  }
+
+  /// Worker-side CPU time to hand one p2p message to the network.
+  double worker_send_cost() const {
+    const double m = software_multiplier();
+    switch (mode) {
+      case Mode::kNonSmp: return m * send_overhead;
+      case Mode::kSmp: return m * (send_overhead + smp_queue_hop);
+      case Mode::kSmpCommThreads: return m * commthread_post;
+    }
+    return 0;
+  }
+
+  /// Comm-thread-side CPU time per p2p send (0 when workers send).
+  double commthread_send_cost() const {
+    return mode == Mode::kSmpCommThreads
+               ? software_multiplier() * (send_overhead + commthread_wake)
+               : 0.0;
+  }
+
+  /// Receive-side CPU cost on the polling thread.
+  double poll_recv_cost() const {
+    const double m = software_multiplier();
+    switch (mode) {
+      case Mode::kNonSmp: return m * recv_overhead;
+      case Mode::kSmp: return m * (recv_overhead + smp_queue_hop);
+      case Mode::kSmpCommThreads:
+        return m * (recv_overhead + commthread_wake);
+    }
+    return 0;
+  }
+
+  /// Worker-side CPU cost to schedule/execute a received message's
+  /// handler entry (excluded for m2m, which lands in registered buffers).
+  double worker_sched_cost() const {
+    return software_multiplier() * scheduler_per_msg;
+  }
+};
+
+/// Per-node compute capability.
+struct MachineModel {
+  net::NetworkParams net{};
+  unsigned cores = 16;
+  unsigned max_threads_per_core = 4;
+  /// Node-relative double-precision throughput at 1 thread/core = 1.0.
+  /// Paper §IV-B.1: 2.3x with 4 threads/core on the A2.
+  double smt_speedup[4] = {1.0, 1.65, 2.05, 2.3};
+  /// Scalar pair-interaction cost on one A2 thread, microseconds.
+  double pair_cost_us = 0.021;
+  /// Per-atom integration/bonded cost, microseconds.
+  double atom_cost_us = 0.012;
+  /// QPX-vectorized inner loop speedup (15.8% serial gain, §IV-B.1).
+  double qpx_speedup = 1.158;
+  /// 1-D FFT cost per point per log2(N) on one thread, microseconds.
+  double fft_point_cost_us = 0.004;
+
+  /// Aggregate node compute throughput (relative units) for `workers`
+  /// worker threads.
+  double node_throughput(unsigned workers) const {
+    if (workers == 0) return 0;
+    const unsigned full = workers / cores;  // threads on every core
+    const unsigned rem = workers % cores;
+    double thr = 0;
+    if (full > 0) {
+      const unsigned idx = full > 4 ? 3 : full - 1;
+      thr += (cores - rem) * smt_speedup[idx];
+    }
+    if (rem > 0) {
+      const unsigned idx = full + 1 > 4 ? 3 : full;  // rem cores run +1
+      thr += rem * smt_speedup[idx];
+    }
+    if (full == 0) thr = rem * smt_speedup[0];
+    return thr;
+  }
+
+  static MachineModel bgq();
+  static MachineModel bgp();
+};
+
+}  // namespace bgq::model

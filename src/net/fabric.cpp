@@ -1,0 +1,69 @@
+#include "net/fabric.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgq::net {
+
+Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
+               unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node)
+    : torus_(torus),
+      params_(params),
+      fifos_per_node_(rec_fifos_per_endpoint),
+      endpoints_per_node_(endpoints_per_node) {
+  if (rec_fifos_per_endpoint == 0) {
+    throw std::invalid_argument("need at least one reception FIFO per node");
+  }
+  if (endpoints_per_node == 0) {
+    throw std::invalid_argument("need at least one endpoint per node");
+  }
+  fifos_.reserve(endpoint_count() * fifos_per_node_);
+  for (std::size_t i = 0; i < endpoint_count() * fifos_per_node_; ++i) {
+    fifos_.push_back(std::make_unique<ReceptionFifo>());
+  }
+}
+
+Fabric::~Fabric() {
+  // Drain any undelivered packets so leak checkers stay clean.
+  for (auto& f : fifos_) {
+    while (Packet* p = f->poll()) delete p;
+  }
+}
+
+ReceptionFifo& Fabric::reception_fifo(topo::NodeId node, unsigned fifo) {
+  return *fifos_[static_cast<std::size_t>(node) * fifos_per_node_ +
+                 (fifo % fifos_per_node_)];
+}
+
+void Fabric::inject(Packet* p) {
+  const int hops = torus_.hops(node_of(p->src), node_of(p->dst));
+  const std::size_t bytes = p->payload_bytes() + p->metadata.size();
+  p->num_packets = params_.packets_for(bytes);
+  p->wire_ns = params_.wire_time_ns(bytes, hops);
+  if (p->kind == TransferKind::kRdmaRead) {
+    // rget pays the request round trip before data flows back.
+    p->wire_ns += params_.rdma_setup_ns +
+                  params_.wire_time_ns(0, hops);
+  }
+
+  transfers_.fetch_add(1, std::memory_order_relaxed);
+  net_packets_.fetch_add(p->num_packets, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+  switch (p->kind) {
+    case TransferKind::kMemFifo:
+      reception_fifo(p->dst, p->rec_fifo).deliver(p);
+      break;
+    case TransferKind::kRdmaRead:
+    case TransferKind::kRdmaWrite:
+      // Same address space: perform the MU's DMA copy here, then deliver
+      // the completion notification to the destination FIFO.
+      if (p->rdma_bytes != 0) {
+        std::memcpy(p->rdma_dst, p->rdma_src, p->rdma_bytes);
+      }
+      reception_fifo(p->dst, p->rec_fifo).deliver(p);
+      break;
+  }
+}
+
+}  // namespace bgq::net

@@ -1,0 +1,135 @@
+// In-process torus fabric: the functional-mode stand-in for the BG/Q
+// Messaging Unit + 5D torus (§II-A).
+//
+// Each simulated node owns a set of reception FIFOs (lockless MPSC queues
+// of Packet*, polled by PAMI contexts) and an optional WaitGate per FIFO so
+// parked communication threads are woken on packet arrival — the emulated
+// wakeup-unit path.
+//
+// Delivery discipline: *synchronous with modeled wire time.*  inject()
+// routes the transfer, stamps Packet::wire_ns from the torus hop count and
+// the link model, and enqueues it at the destination immediately.  The
+// host's real time measures pure software overhead (the thing the paper's
+// optimizations target); wire time is added analytically by the benches.
+// A background pacing thread would add host-scheduler noise larger than
+// the BG/Q wire times being modeled (this host has 1 core), so determinism
+// wins.  Congestion-sensitive, machine-scale timing lives in src/sim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/params.hpp"
+#include "queue/l2_atomic_queue.hpp"
+#include "topology/torus.hpp"
+#include "wakeup/wakeup_unit.hpp"
+
+namespace bgq::net {
+
+/// A reception FIFO: lockless MPSC queue of packets plus the wait gate of
+/// the thread that services it.
+class ReceptionFifo {
+ public:
+  explicit ReceptionFifo(std::size_t capacity = 4096)
+      : q_(capacity), active_gate_(&gate_) {}
+
+  /// Fabric side.
+  void deliver(Packet* p) {
+    q_.enqueue(p);
+    active_gate_.load(std::memory_order_acquire)->wake();
+  }
+
+  /// Polling side (single consumer: the owning context).
+  Packet* poll() { return q_.try_dequeue(); }
+
+  bool empty() const { return q_.empty(); }
+
+  /// Gate a comm thread parks on while this FIFO is empty.
+  wakeup::WaitGate& gate() {
+    return *active_gate_.load(std::memory_order_acquire);
+  }
+
+  /// Re-point arrivals at another gate — the comm-thread pool binds every
+  /// FIFO it services to the servicing thread's own gate (one thread may
+  /// advance several contexts).  Call before traffic starts.
+  void bind_gate(wakeup::WaitGate* g) {
+    active_gate_.store(g != nullptr ? g : &gate_,
+                       std::memory_order_release);
+  }
+
+ private:
+  queue::L2AtomicQueue<Packet*> q_;
+  wakeup::WaitGate gate_;
+  std::atomic<wakeup::WaitGate*> active_gate_;
+};
+
+/// The whole-machine fabric for functional runs.
+///
+/// Addressing: the torus ranks *physical nodes*; each node hosts
+/// `endpoints_per_node` endpoints (processes).  Packet src/dst are endpoint
+/// ids (node * endpoints_per_node + local).  Endpoints sharing a node are 0
+/// torus hops apart — their transfers still pay the MU base latency, which
+/// is exactly the Fig. 5 "different processes, same node" loopback case.
+class Fabric {
+ public:
+  /// `rec_fifos_per_node`: one per PAMI context, so each context polls its
+  /// own FIFO without locks (BG/Q provides 272 per node; we allocate what
+  /// the runtime asks for).
+  Fabric(const topo::Torus& torus, NetworkParams params,
+         unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node = 1);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const topo::Torus& torus() const noexcept { return torus_; }
+  const NetworkParams& params() const noexcept { return params_; }
+  unsigned rec_fifos_per_node() const noexcept { return fifos_per_node_; }
+  unsigned endpoints_per_node() const noexcept { return endpoints_per_node_; }
+  std::size_t endpoint_count() const noexcept {
+    return torus_.node_count() * endpoints_per_node_;
+  }
+
+  /// Physical node hosting an endpoint.
+  topo::NodeId node_of(topo::NodeId endpoint) const noexcept {
+    return endpoint / endpoints_per_node_;
+  }
+
+  /// Inject a transfer.  Takes ownership of `p`.  For kMemFifo the packet
+  /// is handed to the destination FIFO (receiver frees it); for RDMA kinds
+  /// the copy is performed, the completion hook is queued to the
+  /// destination FIFO as a zero-payload packet, and ownership passes with
+  /// it.
+  void inject(Packet* p);
+
+  ReceptionFifo& reception_fifo(topo::NodeId node, unsigned fifo);
+
+  // ---- statistics -------------------------------------------------------
+  std::uint64_t transfers() const noexcept {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t network_packets() const noexcept {
+    return net_packets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_moved() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const topo::Torus torus_;
+  const NetworkParams params_;
+  const unsigned fifos_per_node_;
+  const unsigned endpoints_per_node_;
+
+  // fifos_[endpoint * fifos_per_node_ + fifo]; ReceptionFifo is immovable.
+  std::vector<std::unique_ptr<ReceptionFifo>> fifos_;
+
+  std::atomic<std::uint64_t> transfers_{0};
+  std::atomic<std::uint64_t> net_packets_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace bgq::net

@@ -1,0 +1,74 @@
+// Network transfer descriptors for the in-process fabric.
+//
+// The BG/Q Messaging Unit supports three point-to-point packet types
+// (§II-A): memory-FIFO packets (delivered into a reception FIFO), RDMA
+// read and RDMA write.  The fabric moves whole *transfers* (a message's
+// worth of packets); per-packet chunking enters through the wire-time
+// formula and the packet counters, which is what the runtime above can
+// observe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topology/torus.hpp"
+
+namespace bgq::net {
+
+enum class TransferKind : std::uint8_t {
+  kMemFifo,    ///< active-message packet into a reception FIFO
+  kRdmaRead,   ///< rget: pull bytes from a remote registered buffer
+  kRdmaWrite,  ///< rput: push bytes into a remote registered buffer
+};
+
+/// A registered memory region (PAMI memregion).  In-process emulation:
+/// just the base pointer and length; "registration" is bounds bookkeeping.
+struct MemRegion {
+  std::byte* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// One transfer in flight.  Owned by the fabric between inject() and
+/// delivery; memory-FIFO transfers are then owned by the receiver until it
+/// calls Packet::release().
+struct Packet {
+  TransferKind kind = TransferKind::kMemFifo;
+  topo::NodeId src = 0;
+  topo::NodeId dst = 0;
+
+  /// Active-message dispatch id (mem-FIFO only).
+  std::uint16_t dispatch = 0;
+
+  /// Reception FIFO at the destination this packet is steered to.
+  std::uint16_t rec_fifo = 0;
+
+  /// Small header the sender attaches (PAMI "immediate"/metadata bytes).
+  std::vector<std::byte> metadata;
+
+  /// Eager payload (mem-FIFO transfers).
+  std::vector<std::byte> payload;
+
+  // RDMA fields: same-address-space emulation uses raw pointers; the
+  // runtime must keep buffers registered until the completion fires.
+  const std::byte* rdma_src = nullptr;
+  std::byte* rdma_dst = nullptr;
+  std::size_t rdma_bytes = 0;
+
+  /// Completion hook run on the *destination side's* polling thread after
+  /// delivery (for RDMA: after the copy).  May be empty.
+  std::function<void()> on_delivered;
+
+  /// Modeled one-way wire time stamped by the fabric at injection.
+  std::uint64_t wire_ns = 0;
+
+  /// Number of 512-byte network packets this transfer consumed.
+  std::uint32_t num_packets = 0;
+
+  std::size_t payload_bytes() const noexcept {
+    return kind == TransferKind::kMemFifo ? payload.size() : rdma_bytes;
+  }
+};
+
+}  // namespace bgq::net

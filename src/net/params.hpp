@@ -1,0 +1,59 @@
+// Network cost parameters for the BG/Q torus model (§II-A).
+//
+// Used in two places: the in-process fabric stamps every delivered packet
+// with its modeled wire time, and the discrete-event models in src/model
+// use the same formula for scale-out runs.  Defaults follow the published
+// BG/Q numbers: 2 GB/s raw per link direction, 1.8 GB/s effective after
+// packet header overhead, 512-byte network packets, ~40 ns per hop router
+// latency and sub-microsecond nearest-neighbour MU-to-MU latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bgq::net {
+
+struct NetworkParams {
+  double link_bandwidth_gb_s = 1.8;     ///< effective per-link, per-direction
+  std::uint32_t packet_bytes = 512;     ///< max payload per network packet
+  std::uint32_t packet_header_bytes = 32;
+  std::uint64_t hop_latency_ns = 40;    ///< per-router traversal
+  std::uint64_t base_latency_ns = 550;  ///< MU inject + first-hop + MU receive
+  std::uint64_t rdma_setup_ns = 300;    ///< extra round-trip setup for rget
+
+  /// Number of 512-byte packets a transfer of `bytes` needs.
+  std::uint32_t packets_for(std::size_t bytes) const noexcept {
+    if (bytes == 0) return 1;
+    return static_cast<std::uint32_t>((bytes + packet_bytes - 1) /
+                                      packet_bytes);
+  }
+
+  /// Modeled one-way wire time for `bytes` over `hops` torus hops,
+  /// assuming an otherwise idle path (congestion is a DES concern).
+  std::uint64_t wire_time_ns(std::size_t bytes, int hops) const noexcept {
+    const std::uint32_t npkts = packets_for(bytes);
+    const double wire_bytes =
+        static_cast<double>(bytes) +
+        static_cast<double>(npkts) * packet_header_bytes;
+    const auto serialization_ns =
+        static_cast<std::uint64_t>(wire_bytes / link_bandwidth_gb_s);
+    return base_latency_ns +
+           static_cast<std::uint64_t>(hops > 0 ? hops - 1 : 0) *
+               hop_latency_ns +
+           serialization_ns;
+  }
+};
+
+/// BG/P-era parameters for the Fig. 11 comparison model: 3D torus,
+/// 425 MB/s per link, higher per-hop latency.
+inline NetworkParams bgp_network_params() {
+  NetworkParams p;
+  p.link_bandwidth_gb_s = 0.425;
+  p.packet_bytes = 256;
+  p.hop_latency_ns = 100;
+  p.base_latency_ns = 1600;
+  p.rdma_setup_ns = 600;
+  return p;
+}
+
+}  // namespace bgq::net

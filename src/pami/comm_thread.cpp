@@ -1,0 +1,75 @@
+#include "pami/comm_thread.hpp"
+
+#include <stdexcept>
+
+namespace bgq::pami {
+
+CommThreadPool::CommThreadPool(std::vector<Context*> contexts,
+                               unsigned nthreads,
+                               std::function<void(unsigned)> thread_init)
+    : contexts_(std::move(contexts)), thread_init_(std::move(thread_init)) {
+  if (nthreads == 0) throw std::invalid_argument("need >= 1 comm thread");
+  if (contexts_.empty()) throw std::invalid_argument("no contexts to serve");
+
+  gates_.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    gates_.push_back(std::make_unique<wakeup::WaitGate>());
+  }
+  // Bind every context's wakeups to its servicing thread's gate before any
+  // thread starts polling.
+  for (std::size_t c = 0; c < contexts_.size(); ++c) {
+    contexts_[c]->bind_gate(gates_[c % nthreads].get());
+  }
+  threads_.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    threads_.emplace_back([this, t] { run(t); });
+  }
+}
+
+CommThreadPool::~CommThreadPool() { stop(); }
+
+void CommThreadPool::stop() {
+  if (stop_.exchange(true)) {
+    // Already stopped; just make sure joins happened.
+  }
+  for (auto& g : gates_) g->wake();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Restore default gates so the contexts remain usable without the pool.
+  for (Context* c : contexts_) c->bind_gate(nullptr);
+}
+
+void CommThreadPool::run(unsigned tid) {
+  if (thread_init_) thread_init_(tid);
+  wakeup::WaitGate& gate = *gates_[tid];
+  const unsigned nthreads = static_cast<unsigned>(gates_.size());
+
+  // The contexts this thread owns.
+  std::vector<Context*> mine;
+  for (std::size_t c = tid; c < contexts_.size(); c += nthreads) {
+    mine.push_back(contexts_[c]);
+  }
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::size_t events = 0;
+    for (Context* c : mine) events += c->advance();
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (events != 0) continue;
+
+    // Idle: park on the wakeup gate (emulated `wait` instruction).  The
+    // prepare/re-check/commit dance closes the race against a packet that
+    // arrives between the last poll and the park.
+    const auto seen = gate.prepare_wait();
+    bool pending = stop_.load(std::memory_order_acquire);
+    for (Context* c : mine) pending = pending || c->has_pending();
+    if (pending) {
+      gate.cancel_wait();
+      continue;
+    }
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    gate.commit_wait(seen);
+  }
+}
+
+}  // namespace bgq::pami

@@ -1,0 +1,177 @@
+#include "pami/pami.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgq::pami {
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+Context::Context(Client& client, std::uint16_t index)
+    : client_(client), index_(index), work_(1024) {}
+
+net::ReceptionFifo& Context::fifo() {
+  return client_.fabric().reception_fifo(client_.endpoint(), index_);
+}
+
+namespace {
+
+void fill_common(net::Packet& pkt, EndpointId src, const SendParams& p) {
+  pkt.kind = net::TransferKind::kMemFifo;
+  pkt.src = src;
+  pkt.dst = p.dest;
+  pkt.dispatch = p.dispatch;
+  pkt.rec_fifo = p.dest_context;
+  if (p.metadata_bytes != 0) {
+    pkt.metadata.resize(p.metadata_bytes);
+    std::memcpy(pkt.metadata.data(), p.metadata, p.metadata_bytes);
+  }
+  if (p.payload_bytes != 0) {
+    pkt.payload.resize(p.payload_bytes);
+    std::memcpy(pkt.payload.data(), p.payload, p.payload_bytes);
+  }
+}
+
+}  // namespace
+
+void Context::send_immediate(const SendParams& p) {
+  if (p.metadata_bytes + p.payload_bytes > kImmediateMax) {
+    throw std::invalid_argument("send_immediate: exceeds immediate limit");
+  }
+  // Single-descriptor path: one packet object, one copy, no completion
+  // bookkeeping — minimal overhead, as on hardware.
+  auto* pkt = new net::Packet();
+  fill_common(*pkt, client_.endpoint(), p);
+  client_.fabric().inject(pkt);
+  ++imm_sends_;
+  if (p.local_done) p.local_done();
+}
+
+void Context::send(const SendParams& p) {
+  // Two-descriptor path (metadata + payload).  The payload is copied, so
+  // the local completion fires immediately; on hardware it fires when the
+  // MU has drained the descriptors, which the dispatcher above us cannot
+  // distinguish.
+  auto* pkt = new net::Packet();
+  fill_common(*pkt, client_.endpoint(), p);
+  client_.fabric().inject(pkt);
+  ++sends_;
+  if (p.local_done) p.local_done();
+}
+
+void Context::rget(EndpointId remote, const std::byte* remote_src,
+                   std::byte* local_dst, std::size_t bytes,
+                   std::function<void()> done) {
+  auto* pkt = new net::Packet();
+  pkt->kind = net::TransferKind::kRdmaRead;
+  pkt->src = remote;                 // where the data lives
+  pkt->dst = client_.endpoint();     // completion lands back here
+  pkt->rec_fifo = index_;
+  pkt->rdma_src = remote_src;
+  pkt->rdma_dst = local_dst;
+  pkt->rdma_bytes = bytes;
+  pkt->on_delivered = std::move(done);
+  client_.fabric().inject(pkt);
+  ++sends_;
+}
+
+void Context::rput(EndpointId remote, std::byte* remote_dst,
+                   const std::byte* local_src, std::size_t bytes,
+                   std::uint16_t dest_context,
+                   std::function<void()> remote_done) {
+  auto* pkt = new net::Packet();
+  pkt->kind = net::TransferKind::kRdmaWrite;
+  pkt->src = client_.endpoint();
+  pkt->dst = remote;
+  pkt->rec_fifo = dest_context;
+  pkt->rdma_src = local_src;
+  pkt->rdma_dst = remote_dst;
+  pkt->rdma_bytes = bytes;
+  pkt->on_delivered = std::move(remote_done);
+  client_.fabric().inject(pkt);
+  ++sends_;
+}
+
+void Context::process(net::Packet* p) {
+  if (p->kind == net::TransferKind::kMemFifo) {
+    const DispatchFn& fn = client_.dispatch(p->dispatch);
+    if (!fn) {
+      delete p;
+      throw std::logic_error("packet for unregistered dispatch id");
+    }
+    DispatchArgs args;
+    args.context = this;
+    args.origin = p->src;
+    args.metadata = p->metadata.data();
+    args.metadata_bytes = p->metadata.size();
+    args.payload = p->payload.data();
+    args.payload_bytes = p->payload.size();
+    fn(args);
+  } else {
+    // RDMA completion notification: the copy already happened at inject.
+    if (p->on_delivered) p->on_delivered();
+  }
+  ++recvs_;
+  delete p;
+}
+
+std::size_t Context::advance(std::size_t max_events) {
+  std::size_t events = 0;
+  while (events < max_events) {
+    if (net::Packet* p = fifo().poll()) {
+      process(p);
+      ++events;
+      continue;
+    }
+    if (WorkItem* w = work_.try_dequeue()) {
+      w->fn();
+      delete w;
+      ++work_done_;
+      ++events;
+      continue;
+    }
+    break;
+  }
+  return events;
+}
+
+void Context::post_work(std::function<void()> fn) {
+  work_.enqueue(new WorkItem{std::move(fn)});
+  // Same gate as packet arrivals: the advancing thread parks in one place.
+  fifo().gate().wake();
+}
+
+bool Context::has_pending() const {
+  auto& self = const_cast<Context&>(*this);
+  return !self.fifo().empty() || !self.work_.empty();
+}
+
+wakeup::WaitGate& Context::gate() { return fifo().gate(); }
+
+void Context::bind_gate(wakeup::WaitGate* g) { fifo().bind_gate(g); }
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(net::Fabric& fabric, EndpointId endpoint, unsigned ncontexts)
+    : fabric_(fabric), endpoint_(endpoint) {
+  if (ncontexts == 0 || ncontexts > fabric.rec_fifos_per_node()) {
+    throw std::invalid_argument(
+        "context count must be in [1, reception FIFOs per endpoint]");
+  }
+  contexts_.reserve(ncontexts);
+  for (unsigned i = 0; i < ncontexts; ++i) {
+    contexts_.push_back(
+        std::make_unique<Context>(*this, static_cast<std::uint16_t>(i)));
+  }
+}
+
+void Client::set_dispatch(std::uint16_t id, DispatchFn fn) {
+  if (id >= kMaxDispatch) throw std::invalid_argument("dispatch id too big");
+  dispatch_table_[id] = std::move(fn);
+}
+
+}  // namespace bgq::pami

@@ -1,0 +1,192 @@
+// PAMI-like active messaging library (§II-B) over the in-process fabric.
+//
+// The real PAMI (Parallel Active Messaging Interface) is BG/Q's low-level
+// messaging layer: a Client per process, multiple Context objects that
+// different threads drive concurrently without mutexes, active-message
+// sends that fire registered dispatch callbacks on the destination, and
+// one-sided rget/rput.  This module reproduces that API shape so the
+// Converse machine layer above is the real algorithm from the paper:
+//
+//   PAMI_Send_immediate -> Context::send_immediate   (single MU descriptor,
+//                                                     payload copied inline)
+//   PAMI_Send           -> Context::send             (metadata + payload
+//                                                     descriptors)
+//   PAMI_Rget / Rput    -> Context::rget / rput      (one-sided RDMA)
+//   PAMI_Context_advance-> Context::advance          (poll FIFO + work)
+//   work queues         -> Context::post_work        (lockless, executed by
+//                                                     the advancing thread)
+//
+// Thread contract (same as PAMI): distinct contexts may be driven by
+// distinct threads concurrently with no locks; calls into ONE context must
+// be externally serialized.  post_work() is the exception — it is the
+// lockless MPSC channel any thread may use to hand work to the thread
+// advancing the context.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/packet.hpp"
+#include "queue/l2_atomic_queue.hpp"
+#include "wakeup/wakeup_unit.hpp"
+
+namespace bgq::pami {
+
+class Client;
+class Context;
+
+using EndpointId = topo::NodeId;
+
+/// Arguments handed to an active-message dispatch callback.  Pointers are
+/// valid only for the duration of the callback (the receiver copies out,
+/// exactly as with real PAMI dispatches).
+struct DispatchArgs {
+  Context* context = nullptr;
+  EndpointId origin = 0;
+  const std::byte* metadata = nullptr;
+  std::size_t metadata_bytes = 0;
+  const std::byte* payload = nullptr;
+  std::size_t payload_bytes = 0;
+};
+
+using DispatchFn = std::function<void(const DispatchArgs&)>;
+
+/// Parameters for send / send_immediate.
+struct SendParams {
+  EndpointId dest = 0;
+  std::uint16_t dispatch = 0;
+  /// Which of the destination's contexts (reception FIFOs) to target.
+  std::uint16_t dest_context = 0;
+  const void* metadata = nullptr;
+  std::size_t metadata_bytes = 0;
+  const void* payload = nullptr;
+  std::size_t payload_bytes = 0;
+  /// Invoked once the payload buffer is reusable (both send flavours copy,
+  /// so this fires before the call returns — kept for API fidelity).
+  std::function<void()> local_done;
+};
+
+/// One PAMI context: a reception FIFO, a lockless work queue, and the send
+/// machinery.  Created via Client.
+class Context {
+ public:
+  /// PAMI_Send_immediate limit on BG/Q (payload + metadata must fit one
+  /// network packet's worth of immediate data).
+  static constexpr std::size_t kImmediateMax = 128;
+
+  Context(Client& client, std::uint16_t index);
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  std::uint16_t index() const noexcept { return index_; }
+  Client& client() noexcept { return client_; }
+
+  /// Short-message send: payload+metadata copied into a single descriptor.
+  /// Requires metadata_bytes + payload_bytes <= kImmediateMax.
+  void send_immediate(const SendParams& p);
+
+  /// General eager send (two descriptors: metadata, payload).  Any size.
+  void send(const SendParams& p);
+
+  /// One-sided RDMA read: pull `bytes` from `remote_src` (registered on
+  /// endpoint `remote`) into `local_dst`; `done` runs on this context's
+  /// advancing thread when the data has landed.
+  void rget(EndpointId remote, const std::byte* remote_src,
+            std::byte* local_dst, std::size_t bytes,
+            std::function<void()> done);
+
+  /// One-sided RDMA write: push bytes into `remote_dst` on endpoint
+  /// `remote`; `remote_done` (optional) runs on the remote context's
+  /// advancing thread after the data is visible there.
+  void rput(EndpointId remote, std::byte* remote_dst,
+            const std::byte* local_src, std::size_t bytes,
+            std::uint16_t dest_context = 0,
+            std::function<void()> remote_done = {});
+
+  /// Poll this context: deliver arrived packets to dispatch callbacks, run
+  /// RDMA completions, execute posted work.  Returns events processed.
+  std::size_t advance(std::size_t max_events = SIZE_MAX);
+
+  /// Hand a closure to whichever thread advances this context (lockless
+  /// MPSC; wakes the advancing thread if it is parked).
+  void post_work(std::function<void()> fn);
+
+  /// True when the FIFO or the work queue has anything pending.
+  bool has_pending() const;
+
+  /// The gate the advancing thread parks on (the reception FIFO's gate by
+  /// default; the comm-thread pool rebinds it).
+  wakeup::WaitGate& gate();
+
+  /// Rebind arrival/work wakeups to `g` (nullptr restores the default).
+  void bind_gate(wakeup::WaitGate* g);
+
+  // ---- statistics --------------------------------------------------------
+  std::uint64_t sends() const noexcept { return sends_; }
+  std::uint64_t immediate_sends() const noexcept { return imm_sends_; }
+  std::uint64_t receives() const noexcept { return recvs_; }
+  std::uint64_t work_executed() const noexcept { return work_done_; }
+
+ private:
+  struct WorkItem {
+    std::function<void()> fn;
+  };
+
+  net::ReceptionFifo& fifo();
+  void process(net::Packet* p);
+
+  Client& client_;
+  const std::uint16_t index_;
+
+  queue::L2AtomicQueue<WorkItem*> work_;
+
+  // Stats are written only by the threads owning the respective path; they
+  // are plain counters read for reporting.
+  std::uint64_t sends_ = 0;
+  std::uint64_t imm_sends_ = 0;
+  std::uint64_t recvs_ = 0;
+  std::uint64_t work_done_ = 0;
+};
+
+/// One PAMI client per process (endpoint); owns the contexts and the
+/// dispatch table shared by them.
+class Client {
+ public:
+  static constexpr std::size_t kMaxDispatch = 256;
+
+  Client(net::Fabric& fabric, EndpointId endpoint, unsigned ncontexts);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Context& context(unsigned i) { return *contexts_[i]; }
+  unsigned context_count() const noexcept {
+    return static_cast<unsigned>(contexts_.size());
+  }
+
+  EndpointId endpoint() const noexcept { return endpoint_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Register the callback for a dispatch id.  Must happen before traffic
+  /// with that id arrives (PAMI_Dispatch_set has the same requirement).
+  void set_dispatch(std::uint16_t id, DispatchFn fn);
+
+  const DispatchFn& dispatch(std::uint16_t id) const {
+    return dispatch_table_[id];
+  }
+
+ private:
+  net::Fabric& fabric_;
+  const EndpointId endpoint_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::array<DispatchFn, kMaxDispatch> dispatch_table_;
+};
+
+}  // namespace bgq::pami

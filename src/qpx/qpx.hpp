@@ -1,0 +1,145 @@
+// QPX (Quad Processing eXtension) emulation (§IV-B.1).
+//
+// The BG/Q A2 core has a 4-wide double-precision SIMD unit programmed
+// through XL compiler intrinsics (vector4double, vec_ld/vec_st/vec_madd
+// ...).  The paper vectorizes NAMD's nonbonded inner loop with these
+// intrinsics for a 15.8 % serial speedup.
+//
+// This header reproduces the intrinsic surface over a plain 4-lane value
+// type so the MD kernels in src/md are written exactly as QPX code.  The
+// operations are expressed lane-wise so the host compiler's auto-
+// vectorizer maps them onto SSE/AVX; the *code shape* (manual 4-way
+// vectorization, fused multiply-add accumulators, unrolled interpolation
+// loads) is the paper's.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace bgq::qpx {
+
+/// The XL `vector4double`.
+struct alignas(32) v4d {
+  double v[4];
+
+  double operator[](std::size_t i) const noexcept { return v[i]; }
+  double& operator[](std::size_t i) noexcept { return v[i]; }
+};
+
+/// vec_splats: broadcast a scalar to all four lanes.
+inline v4d vec_splats(double x) noexcept { return v4d{{x, x, x, x}}; }
+
+/// vec_ld: load four contiguous doubles (alignment handled by the host).
+inline v4d vec_ld(const double* p) noexcept {
+  return v4d{{p[0], p[1], p[2], p[3]}};
+}
+
+/// vec_st: store four contiguous doubles.
+inline void vec_st(const v4d& a, double* p) noexcept {
+  p[0] = a.v[0];
+  p[1] = a.v[1];
+  p[2] = a.v[2];
+  p[3] = a.v[3];
+}
+
+/// vec_gather: the emulation's stand-in for four scalar lds feeding a
+/// register (QPX code gathers interpolation-table entries this way).
+inline v4d vec_gather(const double* p, const int idx[4]) noexcept {
+  return v4d{{p[idx[0]], p[idx[1]], p[idx[2]], p[idx[3]]}};
+}
+
+inline v4d vec_add(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+inline v4d vec_sub(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] - b.v[i];
+  return r;
+}
+
+inline v4d vec_mul(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] * b.v[i];
+  return r;
+}
+
+/// vec_madd: a*b + c (the QPX FMA).
+inline v4d vec_madd(const v4d& a, const v4d& b, const v4d& c) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] * b.v[i] + c.v[i];
+  return r;
+}
+
+/// vec_msub: a*b - c.
+inline v4d vec_msub(const v4d& a, const v4d& b, const v4d& c) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] * b.v[i] - c.v[i];
+  return r;
+}
+
+/// vec_nmsub: c - a*b.
+inline v4d vec_nmsub(const v4d& a, const v4d& b, const v4d& c) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = c.v[i] - a.v[i] * b.v[i];
+  return r;
+}
+
+inline v4d vec_neg(const v4d& a) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = -a.v[i];
+  return r;
+}
+
+inline v4d vec_min(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] < b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+inline v4d vec_max(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+
+/// vec_swdiv: software divide (QPX has no hardware divide; XL emits a
+/// reciprocal-estimate + Newton iteration sequence).
+inline v4d vec_swdiv(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] / b.v[i];
+  return r;
+}
+
+/// vec_rsqrte + Newton refinement, packaged as the full-accuracy rsqrt the
+/// kernels use.
+inline v4d vec_rsqrt(const v4d& a) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = 1.0 / std::sqrt(a.v[i]);
+  return r;
+}
+
+/// Lane select: r[i] = mask[i] >= 0 ? b[i] : a[i]  (QPX vec_sel semantics
+/// with sign-based predicates).
+inline v4d vec_sel(const v4d& a, const v4d& b, const v4d& mask) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = mask.v[i] >= 0.0 ? b.v[i] : a.v[i];
+  return r;
+}
+
+/// Compare greater-or-equal: lane = +1.0 where a >= b else -1.0 (QPX
+/// predicates are sign encoded).
+inline v4d vec_cmpge(const v4d& a, const v4d& b) noexcept {
+  v4d r;
+  for (int i = 0; i < 4; ++i) r.v[i] = a.v[i] >= b.v[i] ? 1.0 : -1.0;
+  return r;
+}
+
+/// Horizontal sum (the reduction QPX codes do with vec_sldw shuffles).
+inline double vec_reduce_add(const v4d& a) noexcept {
+  return (a.v[0] + a.v[1]) + (a.v[2] + a.v[3]);
+}
+
+}  // namespace bgq::qpx

@@ -1,0 +1,58 @@
+// Baseline mutex-guarded producer–consumer queue.
+//
+// This is the "typical" implementation the paper replaces (§III-A: "this
+// mutex can be a bottleneck when several peers simultaneously send messages
+// to the same rank").  Kept as the comparison point for bench_queue and for
+// Fig. 8 (L2 atomics on/off), and as the queue used when a node is built
+// with UseL2Atomics = false.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <type_traits>
+
+namespace bgq::queue {
+
+/// Multi-producer single-consumer queue guarded by one mutex.
+template <typename T = void*>
+class MutexQueue {
+  static_assert(std::is_pointer_v<T>, "slots hold message pointers");
+
+ public:
+  MutexQueue() = default;
+  MutexQueue(const MutexQueue&) = delete;
+  MutexQueue& operator=(const MutexQueue&) = delete;
+
+  /// Always succeeds; returns false to mirror L2AtomicQueue's "fast path
+  /// taken" signal (a mutex path is never the fast path).
+  bool enqueue(T msg) {
+    std::lock_guard<std::mutex> g(mutex_);
+    q_.push_back(msg);
+    return false;
+  }
+
+  T try_dequeue() {
+    std::lock_guard<std::mutex> g(mutex_);
+    if (q_.empty()) return nullptr;
+    T m = q_.front();
+    q_.pop_front();
+    return m;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> g(mutex_);
+    return q_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mutex_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> q_;
+};
+
+}  // namespace bgq::queue

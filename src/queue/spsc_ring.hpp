@@ -1,0 +1,76 @@
+// Single-producer single-consumer ring buffer.
+//
+// Used for the per-communication-thread work queues (paper §III-C): a
+// worker thread posts work descriptors to its assigned comm thread; with a
+// fixed producer/consumer pairing the full MPSC machinery is unnecessary
+// and a classic Lamport ring with cached indices is the cheapest correct
+// structure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace bgq::queue {
+
+/// Bounded SPSC ring of trivially-movable values.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity = 1024)
+      : size_(next_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(size_ - 1),
+        slots_(size_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when full.
+  bool try_enqueue(T v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= size_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= size_) return false;
+    }
+    slots_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when empty.
+  std::optional<T> try_dequeue() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
+    T v = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Approximate size (exact when quiescent).
+  std::size_t size_estimate() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const noexcept { return size_estimate() == 0; }
+  std::size_t capacity() const noexcept { return size_; }
+
+ private:
+  const std::size_t size_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kL2Line) std::atomic<std::size_t> head_{0};  // producer writes
+  alignas(kL2Line) std::size_t cached_tail_ = 0;       // producer private
+
+  alignas(kL2Line) std::atomic<std::size_t> tail_{0};  // consumer writes
+  alignas(kL2Line) std::size_t cached_head_ = 0;       // consumer private
+};
+
+}  // namespace bgq::queue

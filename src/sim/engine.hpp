@@ -1,0 +1,92 @@
+// Discrete-event simulation engine for machine-scale experiments.
+//
+// The paper's evaluation runs on up to 16,384 BG/Q nodes; this host has
+// one core.  Following the BigSim methodology used around Charm++, the
+// scale-out benches replay each experiment's communication/computation
+// structure over a simulated machine whose cost parameters come from the
+// functional runtime and the published BG/Q numbers.  This file is the
+// generic core: a time-ordered event queue plus serially-serviced
+// resources (cores, torus links).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bgq::sim {
+
+/// Simulated time in microseconds.
+using Time = double;
+
+/// Minimal event engine: schedule closures at absolute times, run to
+/// drain.  Deterministic: ties break by insertion order.
+class Engine {
+ public:
+  void schedule(Time t, std::function<void()> fn) {
+    queue_.push(Item{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedule relative to now.
+  void after(Time dt, std::function<void()> fn) {
+    schedule(now_ + dt, std::move(fn));
+  }
+
+  Time now() const noexcept { return now_; }
+
+  /// Run until the queue drains (or until `until`); returns final time.
+  Time run(Time until = -1.0) {
+    while (!queue_.empty()) {
+      const Item& top = queue_.top();
+      if (until >= 0 && top.t > until) break;
+      now_ = top.t;
+      auto fn = std::move(const_cast<Item&>(top).fn);
+      queue_.pop();
+      fn();
+    }
+    return now_;
+  }
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Item& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A serially-serviced resource (a torus link, a core's message pipeline):
+/// work items queue FIFO and each occupies the resource for its duration.
+class Server {
+ public:
+  /// Submit work that becomes ready at `ready` and needs `duration`.
+  /// Returns its completion time.
+  Time submit(Time ready, Time duration) {
+    const Time begin = ready > available_ ? ready : available_;
+    available_ = begin + duration;
+    busy_ += duration;
+    return available_;
+  }
+
+  Time available() const noexcept { return available_; }
+  Time busy_time() const noexcept { return busy_; }
+  void reset() noexcept {
+    available_ = 0;
+    busy_ = 0;
+  }
+
+ private:
+  Time available_ = 0;
+  Time busy_ = 0;
+};
+
+}  // namespace bgq::sim

@@ -1,0 +1,97 @@
+#include "topology/placement.hpp"
+
+#include <stdexcept>
+
+namespace bgq::topo {
+
+namespace {
+
+/// Split the torus dimensions into two groups whose extents multiply to
+/// at least (g1, g2): row coordinates advance through the first group,
+/// column coordinates through the second.  This keeps logical rows and
+/// columns inside low-diameter sub-tori instead of striding across the
+/// whole machine the way linear rank order does.
+std::vector<NodeId> folded_map(const Torus& torus, std::size_t g1,
+                               std::size_t g2) {
+  const auto& dims = torus.dims();
+  // Greedily take leading dimensions for the row group until their
+  // product covers g1.
+  std::size_t row_cap = 1;
+  int split = 0;
+  while (split < torus.ndims() - 1 && row_cap < g1) {
+    row_cap *= static_cast<std::size_t>(dims[split]);
+    ++split;
+  }
+  std::size_t col_cap = 1;
+  for (int d = split; d < torus.ndims(); ++d) {
+    col_cap *= static_cast<std::size_t>(dims[d]);
+  }
+  if (row_cap < g1 || col_cap < g2) {
+    // Shapes don't factor cleanly; fall back to linear.
+    std::vector<NodeId> map(g1 * g2);
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      map[i] = static_cast<NodeId>(i);
+    }
+    return map;
+  }
+
+  std::vector<NodeId> map(g1 * g2);
+  for (std::size_t r = 0; r < g1; ++r) {
+    for (std::size_t c = 0; c < g2; ++c) {
+      Coord coord{};
+      // Mixed-radix expansion of r over the row dims, c over the rest.
+      std::size_t rem = r;
+      for (int d = 0; d < split; ++d) {
+        coord[d] = static_cast<int>(rem % dims[d]);
+        rem /= dims[d];
+      }
+      rem = c;
+      for (int d = split; d < torus.ndims(); ++d) {
+        coord[d] = static_cast<int>(rem % dims[d]);
+        rem /= dims[d];
+      }
+      map[r * g2 + c] = torus.rank_of(coord);
+    }
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<NodeId> map_grid(const Torus& torus, std::size_t g1,
+                             std::size_t g2, Placement placement) {
+  if (g1 * g2 > torus.node_count()) {
+    throw std::invalid_argument("grid larger than the torus");
+  }
+  switch (placement) {
+    case Placement::kLinear: {
+      std::vector<NodeId> map(g1 * g2);
+      for (std::size_t i = 0; i < map.size(); ++i) {
+        map[i] = static_cast<NodeId>(i);
+      }
+      return map;
+    }
+    case Placement::kFolded:
+      return folded_map(torus, g1, g2);
+  }
+  return {};
+}
+
+NeighborHops neighbor_hops(const Torus& torus,
+                           const std::vector<NodeId>& map, std::size_t g1,
+                           std::size_t g2) {
+  NeighborHops out;
+  double rows = 0, cols = 0;
+  for (std::size_t r = 0; r < g1; ++r) {
+    for (std::size_t c = 0; c < g2; ++c) {
+      rows += torus.hops(map[r * g2 + c], map[r * g2 + (c + 1) % g2]);
+      cols += torus.hops(map[r * g2 + c], map[((r + 1) % g1) * g2 + c]);
+    }
+  }
+  const double n = static_cast<double>(g1 * g2);
+  out.row_mean = rows / n;
+  out.col_mean = cols / n;
+  return out;
+}
+
+}  // namespace bgq::topo

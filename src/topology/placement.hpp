@@ -1,0 +1,40 @@
+// Topology-aware placement (paper §VII future work).
+//
+// "On larger BG/Q configurations we expect topological placement will
+//  improve performance and we plan to explore that as well."
+//
+// The FFT/PME pencil grids and the NAMD patch grid are logical 2-D/3-D
+// meshes of communicating ranks; this module maps such meshes onto torus
+// nodes and scores mappings by the average hop distance between logical
+// neighbours (the transpose partners / halo partners that actually talk).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/torus.hpp"
+
+namespace bgq::topo {
+
+enum class Placement {
+  kLinear,  ///< rank r*G2+c -> torus node of the same index (oblivious)
+  kFolded,  ///< embed (r, c) into the torus dims by mixed-radix folding
+};
+
+/// Map a logical g1 x g2 grid onto `torus` nodes (g1*g2 <= node count).
+/// Returns node id per logical rank (row-major).
+std::vector<NodeId> map_grid(const Torus& torus, std::size_t g1,
+                             std::size_t g2, Placement placement);
+
+/// Mean torus hop distance between logical row neighbours and column
+/// neighbours under a mapping — the cost proxy for transpose phases.
+struct NeighborHops {
+  double row_mean = 0;  ///< (r, c) <-> (r, c+1 mod g2)
+  double col_mean = 0;  ///< (r, c) <-> (r+1 mod g1, c)
+  double overall() const { return 0.5 * (row_mean + col_mean); }
+};
+NeighborHops neighbor_hops(const Torus& torus,
+                           const std::vector<NodeId>& map, std::size_t g1,
+                           std::size_t g2);
+
+}  // namespace bgq::topo

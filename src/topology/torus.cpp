@@ -1,0 +1,180 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bgq::topo {
+
+Torus::Torus(std::vector<int> dims) : dims_(std::move(dims)) {
+  if (dims_.empty() || dims_.size() > kMaxDims) {
+    throw std::invalid_argument("torus needs 1..6 dimensions");
+  }
+  nodes_ = 1;
+  strides_.resize(dims_.size());
+  // Row-major: last dimension varies fastest (E on BG/Q).
+  for (int d = ndims() - 1; d >= 0; --d) {
+    if (dims_[d] < 1) throw std::invalid_argument("extent must be >= 1");
+    strides_[d] = nodes_;
+    nodes_ *= static_cast<std::size_t>(dims_[d]);
+  }
+}
+
+NodeId Torus::rank_of(const Coord& c) const noexcept {
+  std::size_t r = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    r += static_cast<std::size_t>(c[d]) * strides_[d];
+  }
+  return static_cast<NodeId>(r);
+}
+
+Coord Torus::coord_of(NodeId r) const noexcept {
+  Coord c{};
+  std::size_t rem = r;
+  for (int d = 0; d < ndims(); ++d) {
+    c[d] = static_cast<int>(rem / strides_[d]);
+    rem %= strides_[d];
+  }
+  return c;
+}
+
+int Torus::delta(int dim, int a, int b) const noexcept {
+  const int n = dims_[dim];
+  int fwd = b - a;
+  if (fwd < 0) fwd += n;
+  const int bwd = fwd - n;  // negative
+  return fwd <= -bwd ? fwd : bwd;
+}
+
+int Torus::hops(NodeId a, NodeId b) const noexcept {
+  const Coord ca = coord_of(a), cb = coord_of(b);
+  int h = 0;
+  for (int d = 0; d < ndims(); ++d) h += std::abs(delta(d, ca[d], cb[d]));
+  return h;
+}
+
+std::vector<NodeId> Torus::route(NodeId a, NodeId b) const {
+  std::vector<NodeId> path;
+  Coord cur = coord_of(a);
+  const Coord dst = coord_of(b);
+  for (int d = 0; d < ndims(); ++d) {
+    int dd = delta(d, cur[d], dst[d]);
+    const int step = dd > 0 ? 1 : -1;
+    while (dd != 0) {
+      cur[d] = (cur[d] + step + dims_[d]) % dims_[d];
+      path.push_back(rank_of(cur));
+      dd -= step;
+    }
+  }
+  return path;
+}
+
+NodeId Torus::neighbor(NodeId r, int dim, int dir) const noexcept {
+  Coord c = coord_of(r);
+  c[dim] = (c[dim] + dir + dims_[dim]) % dims_[dim];
+  return rank_of(c);
+}
+
+int Torus::diameter() const noexcept {
+  int d = 0;
+  for (int i = 0; i < ndims(); ++i) d += dims_[i] / 2;
+  return d;
+}
+
+double Torus::average_hops() const noexcept {
+  // Dimensions are independent, so the mean hop count is the sum of the
+  // per-dimension mean wrap distances.
+  double total = 0.0;
+  for (int i = 0; i < ndims(); ++i) {
+    const int n = dims_[i];
+    double s = 0.0;
+    for (int k = 0; k < n; ++k) s += std::min(k, n - k);
+    total += s / n;
+  }
+  return total;
+}
+
+std::size_t Torus::bisection_links() const noexcept {
+  // Cut the longest dimension in half: nodes/longest planes on each side,
+  // each plane contributing 2 wrap directions x (extent>2 ? 2 : 1) cuts.
+  const auto longest =
+      std::max_element(dims_.begin(), dims_.end()) - dims_.begin();
+  const int n = dims_[longest];
+  const std::size_t plane = nodes_ / static_cast<std::size_t>(n);
+  const std::size_t cuts = n > 2 ? 2 : 1;  // torus wrap doubles the cut
+  return plane * cuts * 2;                 // unidirectional links
+}
+
+std::size_t Torus::total_links() const noexcept {
+  std::size_t links = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    if (dims_[d] == 1) continue;
+    const std::size_t dirs = dims_[d] == 2 ? 1 : 2;
+    links += nodes_ * dirs;
+  }
+  return links;
+}
+
+namespace {
+
+/// Balanced factorization of `nodes` into `nd` extents (descending),
+/// with an optional fixed last extent.
+std::vector<int> balanced_dims(std::size_t nodes, int nd, int fixed_last) {
+  std::vector<int> dims(static_cast<std::size_t>(nd), 1);
+  std::size_t rem = nodes;
+  if (fixed_last > 0) {
+    if (nodes % static_cast<std::size_t>(fixed_last) == 0) {
+      dims[static_cast<std::size_t>(nd) - 1] = fixed_last;
+      rem /= static_cast<std::size_t>(fixed_last);
+      --nd;
+    }
+  }
+  // Repeatedly peel the smallest prime factor onto the smallest extent.
+  while (rem > 1) {
+    std::size_t f = 2;
+    while (rem % f != 0) ++f;
+    auto it = std::min_element(dims.begin(), dims.begin() + nd);
+    *it = static_cast<int>(static_cast<std::size_t>(*it) * f);
+    rem /= f;
+  }
+  std::sort(dims.begin(), dims.begin() + nd, std::greater<int>());
+  return dims;
+}
+
+}  // namespace
+
+Torus Torus::bgq_partition(std::size_t nodes) {
+  // Shapes of real BG/Q partitions (A B C D E), E fixed at 2.
+  switch (nodes) {
+    case 32: return Torus({2, 2, 2, 2, 2});
+    case 64: return Torus({4, 2, 2, 2, 2});
+    case 128: return Torus({4, 4, 2, 2, 2});
+    case 256: return Torus({4, 4, 4, 2, 2});
+    case 512: return Torus({4, 4, 4, 4, 2});   // one midplane
+    case 1024: return Torus({4, 4, 4, 8, 2});  // one rack
+    case 2048: return Torus({8, 4, 4, 8, 2});
+    case 4096: return Torus({8, 8, 4, 8, 2});
+    case 8192: return Torus({8, 8, 8, 8, 2});
+    case 16384: return Torus({8, 8, 8, 16, 2});
+    default: return Torus(balanced_dims(nodes, 5, nodes % 2 == 0 ? 2 : 0));
+  }
+}
+
+Torus Torus::bgp_partition(std::size_t nodes) {
+  switch (nodes) {
+    case 32: return Torus({4, 4, 2});
+    case 64: return Torus({4, 4, 4});
+    case 128: return Torus({8, 4, 4});
+    case 256: return Torus({8, 8, 4});
+    case 512: return Torus({8, 8, 8});
+    case 1024: return Torus({16, 8, 8});
+    case 2048: return Torus({16, 16, 8});
+    case 4096: return Torus({16, 16, 16});
+    case 8192: return Torus({32, 16, 16});
+    case 16384: return Torus({32, 32, 16});
+    default: return Torus(balanced_dims(nodes, 3, 0));
+  }
+}
+
+}  // namespace bgq::topo

@@ -1,0 +1,85 @@
+// N-dimensional torus topology (BG/Q 5D, BG/P 3D) — §II-A.
+//
+// Provides coordinates <-> rank mapping, dimension-ordered (e-cube) routing,
+// wraparound hop distances and link enumeration.  Used both by the
+// functional in-process fabric (src/net) to delay packets per-hop and by
+// the discrete-event machine models (src/model) for scale-out runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bgq::topo {
+
+/// Node rank within a partition.
+using NodeId = std::uint32_t;
+
+/// Up to 6 torus dimensions (5 network + padding); BG/Q uses 5 (A..E).
+inline constexpr int kMaxDims = 6;
+using Coord = std::array<int, kMaxDims>;
+
+/// A directed link (node, dimension, direction).
+struct Link {
+  NodeId from;
+  int dim;
+  int dir;  ///< +1 or -1
+};
+
+/// An N-dimensional torus.
+class Torus {
+ public:
+  /// dims must be non-empty; every extent >= 1.  An extent of 1 or 2 has
+  /// no distinct +/- wrap (matching real BG/Q sub-tori).
+  explicit Torus(std::vector<int> dims);
+
+  int ndims() const noexcept { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const noexcept { return dims_; }
+  std::size_t node_count() const noexcept { return nodes_; }
+
+  NodeId rank_of(const Coord& c) const noexcept;
+  Coord coord_of(NodeId r) const noexcept;
+
+  /// Signed minimal displacement along `dim` from a to b (wraparound).
+  int delta(int dim, int a, int b) const noexcept;
+
+  /// Minimal hop count between two ranks.
+  int hops(NodeId a, NodeId b) const noexcept;
+
+  /// Dimension-ordered route a -> b, as the sequence of intermediate node
+  /// ranks including b, excluding a.  Empty when a == b.
+  std::vector<NodeId> route(NodeId a, NodeId b) const;
+
+  /// Rank of the neighbour of r one step along dim in direction dir.
+  NodeId neighbor(NodeId r, int dim, int dir) const noexcept;
+
+  /// Network diameter (max hops between any pair).
+  int diameter() const noexcept;
+
+  /// Average hop distance from a node to all others (uniform traffic).
+  double average_hops() const noexcept;
+
+  /// Number of unidirectional links crossing the bisection of the longest
+  /// dimension — the standard bisection measure for tori.
+  std::size_t bisection_links() const noexcept;
+
+  /// Total number of unidirectional links in the torus.
+  std::size_t total_links() const noexcept;
+
+  // ---- Standard machine partitions -------------------------------------
+
+  /// The 5D shapes real BG/Q partitions use for power-of-two node counts
+  /// (E dimension fixed at 2, as on hardware).  Falls back to a balanced
+  /// factorization for non-standard counts.
+  static Torus bgq_partition(std::size_t nodes);
+
+  /// 3D torus shapes for BG/P partitions (Fig. 11 baseline).
+  static Torus bgp_partition(std::size_t nodes);
+
+ private:
+  std::vector<int> dims_;
+  std::vector<std::size_t> strides_;
+  std::size_t nodes_;
+};
+
+}  // namespace bgq::topo

@@ -1,0 +1,131 @@
+// Tests for the chare layer (src/charm).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "charm/chare.hpp"
+
+namespace {
+
+using bgq::charm::Chare;
+using bgq::charm::EntryContext;
+using bgq::charm::Runtime;
+using bgq::cvs::Machine;
+using bgq::cvs::MachineConfig;
+using bgq::cvs::Mode;
+using bgq::cvs::Pe;
+
+MachineConfig config() {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = Mode::kSmp;
+  cfg.workers_per_process = 2;
+  return cfg;
+}
+
+/// Rings a token around the array until its hop budget is spent.
+class RingChare : public Chare {
+ public:
+  explicit RingChare(std::atomic<int>& visits) : visits_(visits) {}
+
+  void entry(int entry, const void* data, std::size_t bytes,
+             EntryContext& ctx) override {
+    ASSERT_EQ(entry, 0);
+    ASSERT_EQ(bytes, sizeof(int));
+    int hops_left;
+    std::memcpy(&hops_left, data, sizeof(int));
+    visits_.fetch_add(1);
+    if (hops_left == 0) return;
+    const int next = hops_left - 1;
+    ctx.send((ctx.index() + 1) % ctx.array_size(), 0, &next, sizeof(next));
+  }
+
+ private:
+  std::atomic<int>& visits_;
+};
+
+/// Contributes its index when poked.
+class ContributorChare : public Chare {
+ public:
+  void entry(int, const void*, std::size_t, EntryContext& ctx) override {
+    ctx.contribute(static_cast<double>(ctx.index()) + 1.0);
+  }
+};
+
+TEST(Charm, RingTokenVisitsEveryElement) {
+  Machine machine(config());
+  Runtime rt(machine);
+  std::atomic<int> visits{0};
+  constexpr int kHops = 16;
+
+  auto& ring = rt.create_array(8, [&](std::size_t) {
+    return std::make_unique<RingChare>(visits);
+  });
+  std::atomic<int> stop_guard{0};
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0 && stop_guard.fetch_add(1) == 0) {
+      const int hops = kHops;
+      ring.send_from(pe, 0, 0, &hops, sizeof(hops));
+    }
+    // Exit once the token has made its hops.
+    while (visits.load() < kHops + 1) {
+      if (!pe.pump_one()) std::this_thread::yield();
+    }
+    pe.exit_all();
+  });
+
+  EXPECT_EQ(visits.load(), kHops + 1);
+}
+
+TEST(Charm, ReductionSumsAllElements) {
+  Machine machine(config());
+  Runtime rt(machine);
+  constexpr std::size_t kN = 10;
+
+  auto& arr = rt.create_array(
+      kN, [](std::size_t) { return std::make_unique<ContributorChare>(); });
+  std::atomic<double> total{0};
+  arr.set_reduction_client([&](double sum, Pe& pe) {
+    total.store(sum);
+    pe.exit_all();
+  });
+
+  machine.run([&](Pe& pe) {
+    if (pe.rank() != 0) return;
+    // Poke every element; each contributes index+1: sum = 55.
+    for (std::size_t e = 0; e < kN; ++e) {
+      arr.send_from(pe, e, 0, nullptr, 0);
+    }
+  });
+
+  EXPECT_DOUBLE_EQ(total.load(), 55.0);
+}
+
+TEST(Charm, ElementsArePlacedRoundRobin) {
+  Machine machine(config());
+  Runtime rt(machine);
+  auto& arr = rt.create_array(
+      9, [](std::size_t) { return std::make_unique<ContributorChare>(); });
+  for (std::size_t e = 0; e < 9; ++e) {
+    EXPECT_EQ(arr.home(e), e % machine.pe_count());
+  }
+}
+
+TEST(Charm, OutOfRangeSendThrows) {
+  Machine machine(config());
+  Runtime rt(machine);
+  auto& arr = rt.create_array(
+      4, [](std::size_t) { return std::make_unique<ContributorChare>(); });
+  machine.register_handler([](Pe&, bgq::cvs::Message*) {});
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) {
+      EXPECT_THROW(arr.send_from(pe, 99, 0, nullptr, 0),
+                   std::out_of_range);
+    }
+    pe.exit_all();
+  });
+}
+
+}  // namespace

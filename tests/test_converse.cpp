@@ -1,0 +1,301 @@
+// Integration tests for the Converse-like machine layer (src/converse):
+// all three execution modes, eager + rendezvous protocols, intra-process
+// pointer exchange, and the L2-atomics / allocator configuration axes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "converse/machine.hpp"
+
+namespace {
+
+using bgq::cvs::HandlerId;
+using bgq::cvs::Machine;
+using bgq::cvs::MachineConfig;
+using bgq::cvs::Message;
+using bgq::cvs::Mode;
+using bgq::cvs::Pe;
+
+MachineConfig base_config(Mode mode) {
+  MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mode;
+  cfg.workers_per_process = 2;
+  cfg.processes_per_node = 2;
+  cfg.comm_threads = 1;
+  return cfg;
+}
+
+/// Ping-pong between the first and last PE; verifies payload integrity and
+/// round-trip counting in every mode.
+void run_pingpong(MachineConfig cfg, int rounds, std::size_t bytes) {
+  Machine machine(cfg);
+  const auto last = static_cast<bgq::cvs::PeRank>(machine.pe_count() - 1);
+  std::atomic<int> bounces{0};
+
+  const HandlerId bounce = machine.register_handler(
+      [&, last](Pe& pe, Message* m) {
+        // Verify pattern, increment the counter in the payload, reply.
+        auto* fill = reinterpret_cast<unsigned char*>(m->payload());
+        EXPECT_EQ(fill[m->payload_bytes() - 1],
+                  static_cast<unsigned char>(0xC5));
+        const int n = bounces.fetch_add(1) + 1;
+        if (n >= rounds) {
+          pe.free_message(m);
+          pe.exit_all();
+          return;
+        }
+        const auto peer = pe.rank() == 0 ? last : 0;
+        pe.send_message(peer, m);  // re-use the same buffer: zero copies
+      });
+
+  machine.run([&, last](Pe& pe) {
+    if (pe.rank() != 0) return;
+    Message* m = pe.alloc_message(bytes, bounce);
+    std::memset(m->payload(), 0xC5, bytes);
+    pe.send_message(last, m);
+  });
+
+  EXPECT_GE(bounces.load(), rounds);
+}
+
+class AllModes : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(AllModes, PingPongShortMessages) {
+  run_pingpong(base_config(GetParam()), 50, 32);
+}
+
+TEST_P(AllModes, PingPongEagerMediumMessages) {
+  run_pingpong(base_config(GetParam()), 20, 2048);
+}
+
+TEST_P(AllModes, PingPongRendezvousLargeMessages) {
+  run_pingpong(base_config(GetParam()), 10, 64 * 1024);
+}
+
+TEST_P(AllModes, PingPongWithMutexQueuesAndArenaAllocator) {
+  MachineConfig cfg = base_config(GetParam());
+  cfg.use_l2_atomics = false;
+  cfg.use_pool_allocator = false;
+  run_pingpong(cfg, 20, 512);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AllModes,
+                         ::testing::Values(Mode::kNonSmp, Mode::kSmp,
+                                           Mode::kSmpCommThreads),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Mode::kNonSmp: return "NonSmp";
+                             case Mode::kSmp: return "Smp";
+                             default: return "SmpCommThreads";
+                           }
+                         });
+
+TEST(Converse, ConfigDerivations) {
+  MachineConfig cfg = base_config(Mode::kNonSmp);
+  EXPECT_EQ(cfg.effective_workers_per_process(), 1u);
+  EXPECT_EQ(cfg.process_count(), 4u);  // 2 nodes x 2 processes
+  EXPECT_EQ(cfg.pe_count(), 4u);
+  EXPECT_EQ(cfg.effective_comm_threads(), 0u);
+
+  cfg = base_config(Mode::kSmp);
+  EXPECT_EQ(cfg.process_count(), 2u);
+  EXPECT_EQ(cfg.pe_count(), 4u);
+  EXPECT_EQ(cfg.contexts_per_process(), 2u);  // one per worker
+
+  cfg = base_config(Mode::kSmpCommThreads);
+  EXPECT_EQ(cfg.effective_comm_threads(), 1u);
+  EXPECT_EQ(cfg.contexts_per_process(), 1u);  // one per comm thread
+}
+
+TEST(Converse, IntraProcessSendIsPointerExchange) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  cfg.nodes = 2;  // smallest standard partition shape users still 2 nodes
+  Machine machine(cfg);
+
+  std::atomic<void*> sent_ptr{nullptr};
+  std::atomic<bool> same{false};
+
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    same.store(m->raw() == sent_ptr.load());
+    pe.free_message(m);
+    pe.exit_all();
+  });
+
+  machine.run([&](Pe& pe) {
+    if (pe.rank() != 0) return;
+    Message* m = pe.alloc_message(64, h);
+    sent_ptr.store(m->raw());
+    pe.send_message(1, m);  // PE 1 is in the same process (2 workers)
+  });
+
+  EXPECT_TRUE(same.load())
+      << "same-process delivery must not copy the message";
+  const auto stats = machine.aggregate_stats();
+  EXPECT_GE(stats.intra_process_sends, 1u);
+}
+
+TEST(Converse, NetworkSendCountsAndDelivers) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  Machine machine(cfg);
+  const auto last = static_cast<bgq::cvs::PeRank>(machine.pe_count() - 1);
+
+  std::atomic<int> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    got.fetch_add(1);
+    pe.free_message(m);
+    if (got.load() == 10) pe.exit_all();
+  });
+
+  machine.run([&, last](Pe& pe) {
+    if (pe.rank() != 0) return;
+    for (int i = 0; i < 10; ++i) pe.send(last, h, &i, sizeof(i));
+  });
+
+  EXPECT_EQ(got.load(), 10);
+  EXPECT_EQ(machine.aggregate_stats().network_sends, 10u);
+}
+
+TEST(Converse, BroadcastReachesEveryPe) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  Machine machine(cfg);
+  const auto npes = machine.pe_count();
+
+  std::atomic<std::size_t> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    if (got.fetch_add(1) + 1 == npes) pe.exit_all();
+  });
+
+  machine.run([&](Pe& pe) {
+    if (pe.rank() != 0) return;
+    const int v = 7;
+    pe.broadcast(h, &v, sizeof(v));
+  });
+
+  EXPECT_EQ(got.load(), npes);
+}
+
+TEST(Converse, ManyToOneStressAllMessagesArrive) {
+  // Every PE floods PE 0 — the contended pattern the lockless queues and
+  // the pool allocator exist for.
+  MachineConfig cfg = base_config(Mode::kSmp);
+  cfg.nodes = 2;
+  cfg.workers_per_process = 4;
+  Machine machine(cfg);
+  const std::size_t senders = machine.pe_count() - 1;
+  constexpr int kPer = 200;
+
+  std::atomic<std::size_t> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    if (got.fetch_add(1) + 1 == senders * kPer) pe.exit_all();
+  });
+
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) return;
+    for (int i = 0; i < kPer; ++i) pe.send(0, h, &i, sizeof(i));
+  });
+
+  EXPECT_EQ(got.load(), senders * kPer);
+}
+
+TEST(Converse, RendezvousPreservesLargePayloadIntegrity) {
+  MachineConfig cfg = base_config(Mode::kSmpCommThreads);
+  Machine machine(cfg);
+  const auto last = static_cast<bgq::cvs::PeRank>(machine.pe_count() - 1);
+  constexpr std::size_t kBytes = 256 * 1024;
+
+  std::atomic<bool> ok{false};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    const auto* p = reinterpret_cast<const std::uint32_t*>(m->payload());
+    bool good = m->payload_bytes() == kBytes;
+    for (std::size_t i = 0; good && i < kBytes / 4; i += 997) {
+      good = p[i] == static_cast<std::uint32_t>(i);
+    }
+    ok.store(good);
+    pe.free_message(m);
+    pe.exit_all();
+  });
+
+  machine.run([&, last](Pe& pe) {
+    if (pe.rank() != 0) return;
+    Message* m = pe.alloc_message(kBytes, h);
+    auto* p = reinterpret_cast<std::uint32_t*>(m->payload());
+    for (std::size_t i = 0; i < kBytes / 4; ++i) {
+      p[i] = static_cast<std::uint32_t>(i);
+    }
+    pe.send_message(last, m);
+  });
+
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Converse, BarrierAlignsWorkers) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  Machine machine(cfg);
+  std::atomic<int> before{0}, after{0};
+  std::atomic<bool> violated{false};
+
+  machine.register_handler([](Pe&, Message*) {});
+  machine.run([&](Pe& pe) {
+    before.fetch_add(1);
+    pe.barrier();
+    // After the barrier, every PE must have done its pre-barrier step.
+    if (before.load() != static_cast<int>(machine.pe_count())) {
+      violated.store(true);
+    }
+    if (after.fetch_add(1) + 1 == static_cast<int>(machine.pe_count())) {
+      pe.exit_all();
+    }
+  });
+
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Converse, TraceRecordsBusyIntervals) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  cfg.trace_utilization = true;
+  Machine machine(cfg);
+
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    pe.exit_all();
+  });
+  machine.run([&](Pe& pe) {
+    if (pe.rank() != 0) return;
+    pe.send(1, h, nullptr, 0);
+  });
+
+  const auto& trace = machine.pe(1).trace();
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_TRUE(trace[0].busy);
+  EXPECT_FALSE(trace[1].busy);
+  EXPECT_GE(trace[1].t_ns, trace[0].t_ns);
+}
+
+TEST(Converse, MessageHeaderRoundTrip) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  Machine machine(cfg);
+  const auto last = static_cast<bgq::cvs::PeRank>(machine.pe_count() - 1);
+
+  std::atomic<std::uint32_t> seen_src{9999}, seen_dst{9999};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    seen_src.store(m->header().src_pe);
+    seen_dst.store(m->header().dst_pe);
+    pe.free_message(m);
+    pe.exit_all();
+  });
+
+  machine.run([&, last](Pe& pe) {
+    if (pe.rank() != 0) return;
+    pe.send(last, h, nullptr, 0);
+  });
+
+  EXPECT_EQ(seen_src.load(), 0u);
+  EXPECT_EQ(seen_dst.load(), last);
+}
+
+}  // namespace

@@ -1,0 +1,361 @@
+// Tests for the FFT library (src/fft): 1-D mixed-radix kernel against a
+// naive DFT, and the distributed pencil 3-D FFT against a serial 3-D
+// reference, over both transports and several runtime modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "converse/machine.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/pencil3d.hpp"
+#include "m2m/manytomany.hpp"
+
+namespace {
+
+using bgq::fft::cplx;
+using bgq::fft::Fft1D;
+using bgq::fft::Pencil3DFFT;
+using bgq::fft::Transport;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  bgq::Xoshiro256 rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(j * k % n) /
+                         static_cast<double>(n);
+      acc += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class Fft1DSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fft1DSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n * 7 + 1);
+  const auto ref = naive_dft(x);
+  Fft1D plan(n);
+  plan.forward(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-9 * n) << "k=" << k;
+    EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-9 * n) << "k=" << k;
+  }
+}
+
+TEST_P(Fft1DSizes, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, n + 3);
+  const auto orig = x;
+  Fft1D plan(n);
+  plan.forward(x.data());
+  plan.inverse(x.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10 * n);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmoothSizes, Fft1DSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 10, 12,
+                                           15, 16, 20, 24, 27, 30, 32, 45,
+                                           60, 64, 125, 128, 216, 240),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Fft1D, RejectsNonSmoothSizes) {
+  EXPECT_THROW(Fft1D(7), std::invalid_argument);
+  EXPECT_THROW(Fft1D(0), std::invalid_argument);
+  EXPECT_THROW(Fft1D(34), std::invalid_argument);  // 2 * 17
+  EXPECT_TRUE(Fft1D::smooth(1080));
+  EXPECT_TRUE(Fft1D::smooth(864));
+  EXPECT_TRUE(Fft1D::smooth(216));
+  EXPECT_FALSE(Fft1D::smooth(1081));
+}
+
+TEST(Fft1D, ParsevalHolds) {
+  constexpr std::size_t n = 360;
+  auto x = random_signal(n, 99);
+  double time_energy = 0;
+  for (auto& v : x) time_energy += std::norm(v);
+  Fft1D plan(n);
+  plan.forward(x.data());
+  double freq_energy = 0;
+  for (auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * n);
+}
+
+TEST(Fft1D, LinearityHolds) {
+  constexpr std::size_t n = 48;
+  auto a = random_signal(n, 1), b = random_signal(n, 2);
+  std::vector<cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  Fft1D plan(n);
+  auto fa = a, fb = b, fsum = sum;
+  plan.forward(fa.data());
+  plan.forward(fb.data());
+  plan.forward(fsum.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx expect = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(fsum[k].real(), expect.real(), 1e-9 * n);
+    EXPECT_NEAR(fsum[k].imag(), expect.imag(), 1e-9 * n);
+  }
+}
+
+TEST(Fft1D, ImpulseGivesFlatSpectrum) {
+  constexpr std::size_t n = 30;
+  std::vector<cplx> x(n, 0.0);
+  x[0] = 1.0;
+  Fft1D plan(n);
+  plan.forward(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), 1.0, 1e-12);
+    EXPECT_NEAR(x[k].imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1D, ForwardManyTransformsEachPencil) {
+  constexpr std::size_t n = 16, count = 4;
+  std::vector<cplx> base(n * count);
+  for (std::size_t p = 0; p < count; ++p) base[p * n] = double(p + 1);
+  Fft1D plan(n);
+  plan.forward_many(base.data(), count);
+  for (std::size_t p = 0; p < count; ++p) {
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(base[p * n + k].real(), double(p + 1), 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed 3-D pencil FFT
+// ---------------------------------------------------------------------------
+
+/// Serial 3-D DFT reference via three passes of the 1-D kernel.
+/// ref layout: ref[(x*n + y)*n + z].
+std::vector<cplx> serial_fft3d(std::vector<cplx> a, std::size_t n) {
+  Fft1D plan(n);
+  // z: contiguous
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t y = 0; y < n; ++y) plan.forward(&a[(x * n + y) * n]);
+  // y: gather/scatter
+  std::vector<cplx> line(n);
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t z = 0; z < n; ++z) {
+      for (std::size_t y = 0; y < n; ++y) line[y] = a[(x * n + y) * n + z];
+      plan.forward(line.data());
+      for (std::size_t y = 0; y < n; ++y) a[(x * n + y) * n + z] = line[y];
+    }
+  // x
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t z = 0; z < n; ++z) {
+      for (std::size_t x = 0; x < n; ++x) line[x] = a[(x * n + y) * n + z];
+      plan.forward(line.data());
+      for (std::size_t x = 0; x < n; ++x) a[(x * n + y) * n + z] = line[x];
+    }
+  return a;
+}
+
+struct P3Case {
+  bgq::cvs::Mode mode;
+  Transport transport;
+};
+
+class Pencil3D : public ::testing::TestWithParam<P3Case> {};
+
+TEST_P(Pencil3D, MatchesSerialReferenceAndRoundTrips) {
+  const auto [mode, transport] = GetParam();
+  constexpr std::size_t kN = 8;
+
+  bgq::cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mode;
+  cfg.workers_per_process = 2;
+  cfg.processes_per_node = 2;
+  cfg.comm_threads = 1;
+  bgq::cvs::Machine machine(cfg);
+  ASSERT_EQ(machine.pe_count(), 4u);  // G = 2
+
+  bgq::m2m::Coordinator coord(machine);
+  Pencil3DFFT fft(machine, kN, transport, &coord);
+  const std::size_t G = fft.grid(), B = fft.block();
+
+  // Build the full grid and scatter it into PE-local Z-pencil layouts.
+  auto full = random_signal(kN * kN * kN, 4242);
+  for (bgq::cvs::PeRank p = 0; p < 4; ++p) {
+    const std::size_t r = p / G, c = p % G;
+    cplx* local = fft.local_data(p);
+    for (std::size_t bx = 0; bx < B; ++bx)
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < kN; ++z)
+          local[fft.z_index(bx, by, z)] =
+              full[((r * B + bx) * kN + (c * B + by)) * kN + z];
+  }
+  const auto ref = serial_fft3d(full, kN);
+
+  std::atomic<int> bad_fwd{0}, bad_rt{0};
+  std::atomic<int> done{0};
+  machine.run([&](bgq::cvs::Pe& pe) {
+    fft.forward(pe);
+    // Check X layout: local[x_index(by,bz,x)] == ref[x, r*B+by, c*B+bz].
+    const std::size_t r = pe.rank() / G, c = pe.rank() % G;
+    const cplx* local = fft.local_data(pe.rank());
+    for (std::size_t by = 0; by < B; ++by)
+      for (std::size_t bz = 0; bz < B; ++bz)
+        for (std::size_t x = 0; x < kN; ++x) {
+          const cplx want =
+              ref[(x * kN + (r * B + by)) * kN + (c * B + bz)];
+          const cplx got = local[fft.x_index(by, bz, x)];
+          if (std::abs(got - want) > 1e-8 * kN * kN) bad_fwd.fetch_add(1);
+        }
+
+    // Round-trip back to the input.
+    fft.backward(pe);
+    const double scale = 1.0 / double(kN * kN * kN);
+    for (std::size_t bx = 0; bx < B; ++bx)
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < kN; ++z) {
+          const cplx want =
+              full[((r * B + bx) * kN + (c * B + by)) * kN + z];
+          const cplx got = local[fft.z_index(bx, by, z)] * scale;
+          if (std::abs(got - want) > 1e-9 * kN * kN) bad_rt.fetch_add(1);
+        }
+    if (done.fetch_add(1) + 1 == 4) pe.exit_all();
+  });
+
+  EXPECT_EQ(bad_fwd.load(), 0) << "forward mismatch vs serial reference";
+  EXPECT_EQ(bad_rt.load(), 0) << "round trip mismatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsAndModes, Pencil3D,
+    ::testing::Values(
+        P3Case{bgq::cvs::Mode::kSmp, Transport::kP2P},
+        P3Case{bgq::cvs::Mode::kSmp, Transport::kM2M},
+        P3Case{bgq::cvs::Mode::kSmpCommThreads, Transport::kP2P},
+        P3Case{bgq::cvs::Mode::kSmpCommThreads, Transport::kM2M},
+        P3Case{bgq::cvs::Mode::kNonSmp, Transport::kP2P},
+        P3Case{bgq::cvs::Mode::kNonSmp, Transport::kM2M}),
+    [](const auto& info) {
+      std::string s;
+      switch (info.param.mode) {
+        case bgq::cvs::Mode::kNonSmp: s = "NonSmp"; break;
+        case bgq::cvs::Mode::kSmp: s = "Smp"; break;
+        default: s = "SmpCommThreads"; break;
+      }
+      s += info.param.transport == Transport::kP2P ? "P2P" : "M2M";
+      return s;
+    });
+
+TEST(Pencil3D, RepeatedRoundTripsStayStable) {
+  bgq::cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = bgq::cvs::Mode::kSmp;
+  cfg.workers_per_process = 2;
+  bgq::cvs::Machine machine(cfg);
+  bgq::m2m::Coordinator coord(machine);
+  Pencil3DFFT fft(machine, 8, Transport::kM2M, &coord);
+
+  auto full = random_signal(8 * 8 * 8, 7);
+  const std::size_t B = fft.block(), G = fft.grid();
+  for (bgq::cvs::PeRank p = 0; p < 4; ++p) {
+    const std::size_t r = p / G, c = p % G;
+    for (std::size_t bx = 0; bx < B; ++bx)
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < 8u; ++z)
+          fft.local_data(p)[fft.z_index(bx, by, z)] =
+              full[((r * B + bx) * 8 + (c * B + by)) * 8 + z];
+  }
+
+  std::atomic<int> bad{0}, done{0};
+  machine.run([&](bgq::cvs::Pe& pe) {
+    for (int iter = 0; iter < 5; ++iter) fft.roundtrip(pe);
+    const std::size_t r = pe.rank() / G, c = pe.rank() % G;
+    for (std::size_t bx = 0; bx < B; ++bx)
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < 8u; ++z) {
+          const cplx want = full[((r * B + bx) * 8 + (c * B + by)) * 8 + z];
+          const cplx got = fft.local_data(pe.rank())[fft.z_index(bx, by, z)];
+          if (std::abs(got - want) > 1e-8) bad.fetch_add(1);
+        }
+    if (done.fetch_add(1) + 1 == 4) pe.exit_all();
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Pencil3D, NonPowerOfTwoGridWorks) {
+  // G = 3 (9 PEs) with a 9-point grid: exercises the radix-3 kernel and
+  // non-power-of-two pencil geometry end to end.
+  bgq::cvs::MachineConfig cfg;
+  cfg.nodes = 3;
+  cfg.mode = bgq::cvs::Mode::kSmp;
+  cfg.workers_per_process = 3;
+  bgq::cvs::Machine machine(cfg);
+  ASSERT_EQ(machine.pe_count(), 9u);
+  bgq::m2m::Coordinator coord(machine);
+  Pencil3DFFT fft(machine, 9, Transport::kM2M, &coord);
+  ASSERT_EQ(fft.grid(), 3u);
+
+  auto full = random_signal(9 * 9 * 9, 33);
+  const std::size_t B = fft.block();
+  for (bgq::cvs::PeRank p = 0; p < 9; ++p) {
+    const std::size_t r = p / 3, c = p % 3;
+    for (std::size_t bx = 0; bx < B; ++bx)
+      for (std::size_t by = 0; by < B; ++by)
+        for (std::size_t z = 0; z < 9u; ++z)
+          fft.local_data(p)[fft.z_index(bx, by, z)] =
+              full[((r * B + bx) * 9 + (c * B + by)) * 9 + z];
+  }
+  const auto ref = serial_fft3d(full, 9);
+
+  std::atomic<int> bad{0}, done{0};
+  machine.run([&](bgq::cvs::Pe& pe) {
+    fft.forward(pe);
+    const std::size_t r = pe.rank() / 3, c = pe.rank() % 3;
+    for (std::size_t by = 0; by < B; ++by)
+      for (std::size_t bz = 0; bz < B; ++bz)
+        for (std::size_t x = 0; x < 9u; ++x) {
+          const cplx want = ref[(x * 9 + (r * B + by)) * 9 + (c * B + bz)];
+          const cplx got =
+              fft.local_data(pe.rank())[fft.x_index(by, bz, x)];
+          if (std::abs(got - want) > 1e-8) bad.fetch_add(1);
+        }
+    if (done.fetch_add(1) + 1 == 9) pe.exit_all();
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Pencil3D, RejectsBadGeometry) {
+  bgq::cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = bgq::cvs::Mode::kSmp;
+  cfg.workers_per_process = 2;  // 4 PEs, G=2
+  bgq::cvs::Machine machine(cfg);
+  bgq::m2m::Coordinator coord(machine);
+  EXPECT_THROW(Pencil3DFFT(machine, 7, Transport::kP2P),
+               std::invalid_argument);  // not smooth / not divisible
+  EXPECT_THROW(Pencil3DFFT(machine, 8, Transport::kM2M, nullptr),
+               std::invalid_argument);  // m2m needs coordinator
+
+  cfg.workers_per_process = 3;  // 6 PEs: not a perfect square
+  bgq::cvs::Machine m2(cfg);
+  EXPECT_THROW(Pencil3DFFT(m2, 6, Transport::kP2P), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Tests for the emulated BG/Q L2 atomic operation set (src/l2atomic).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "l2atomic/completion.hpp"
+#include "l2atomic/l2_atomic.hpp"
+
+namespace {
+
+using bgq::l2::AtomicWord;
+using bgq::l2::BoundedCounter;
+using bgq::l2::CompletionCounter;
+using bgq::l2::kBoundedFailure;
+
+TEST(AtomicWord, LoadIncrementReturnsOldValue) {
+  AtomicWord w(41);
+  EXPECT_EQ(w.load_increment(), 41u);
+  EXPECT_EQ(w.load(), 42u);
+}
+
+TEST(AtomicWord, LoadDecrementReturnsOldValue) {
+  AtomicWord w(10);
+  EXPECT_EQ(w.load_decrement(), 10u);
+  EXPECT_EQ(w.load(), 9u);
+}
+
+TEST(AtomicWord, LoadClearReturnsOldAndZeroes) {
+  AtomicWord w(0xDEADBEEF);
+  EXPECT_EQ(w.load_clear(), 0xDEADBEEFu);
+  EXPECT_EQ(w.load(), 0u);
+}
+
+TEST(AtomicWord, StoreAddOrXor) {
+  AtomicWord w(0b1000);
+  w.store_add(2);
+  EXPECT_EQ(w.load(), 0b1010u);
+  w.store_or(0b0101);
+  EXPECT_EQ(w.load(), 0b1111u);
+  w.store_xor(0b0110);
+  EXPECT_EQ(w.load(), 0b1001u);
+}
+
+TEST(AtomicWord, StoreMaxKeepsLarger) {
+  AtomicWord w(100);
+  w.store_max(50);
+  EXPECT_EQ(w.load(), 100u);
+  w.store_max(150);
+  EXPECT_EQ(w.load(), 150u);
+}
+
+TEST(AtomicWord, AddFetchReturnsNewValue) {
+  AtomicWord w(5);
+  EXPECT_EQ(w.add_fetch(7), 12u);
+}
+
+TEST(AtomicWord, ConcurrentLoadIncrementIsExact) {
+  AtomicWord w(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) w.load_increment();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(w.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(BoundedCounter, IncrementsUpToBoundThenFails) {
+  BoundedCounter c(3);
+  EXPECT_EQ(c.bounded_increment(), 0u);
+  EXPECT_EQ(c.bounded_increment(), 1u);
+  EXPECT_EQ(c.bounded_increment(), 2u);
+  EXPECT_EQ(c.bounded_increment(), kBoundedFailure);
+  EXPECT_TRUE(c.full());
+}
+
+TEST(BoundedCounter, AdvanceBoundReopensSlots) {
+  BoundedCounter c(1);
+  EXPECT_EQ(c.bounded_increment(), 0u);
+  EXPECT_EQ(c.bounded_increment(), kBoundedFailure);
+  c.advance_bound(1);
+  EXPECT_EQ(c.bounded_increment(), 1u);
+  EXPECT_EQ(c.bounded_increment(), kBoundedFailure);
+}
+
+TEST(BoundedCounter, ZeroBoundAlwaysFails) {
+  BoundedCounter c(0);
+  EXPECT_EQ(c.bounded_increment(), kBoundedFailure);
+}
+
+TEST(BoundedCounter, ConcurrentClaimsNeverExceedBound) {
+  constexpr std::uint64_t kBound = 1000;
+  BoundedCounter c(kBound);
+  constexpr int kThreads = 8;
+  std::atomic<std::uint64_t> successes{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 400; ++i) {
+        if (c.bounded_increment() != kBoundedFailure) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // 8 * 400 = 3200 attempts against a bound of 1000: exactly 1000 succeed.
+  EXPECT_EQ(successes.load(), kBound);
+  EXPECT_EQ(c.counter(), kBound);
+}
+
+TEST(BoundedCounter, ConcurrentClaimsWithConsumerAdvancingBound) {
+  BoundedCounter c(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::atomic<std::uint64_t> successes{0};
+  std::atomic<bool> stop{false};
+
+  std::thread consumer([&] {
+    std::uint64_t drained = 0;
+    while (!stop.load() ||
+           drained < successes.load(std::memory_order_acquire)) {
+      const std::uint64_t avail =
+          successes.load(std::memory_order_acquire) - drained;
+      if (avail > 0) {
+        c.advance_bound(avail);
+        drained += avail;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      int done = 0;
+      while (done < kPerProducer) {
+        if (c.bounded_increment() != kBoundedFailure) {
+          successes.fetch_add(1, std::memory_order_release);
+          ++done;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+
+  EXPECT_EQ(successes.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  // Every success consumed one slot below the final bound.
+  EXPECT_LE(c.counter(), c.bound());
+}
+
+TEST(CompletionCounter, DoneWhenCountReachesTarget) {
+  CompletionCounter cc;
+  EXPECT_TRUE(cc.done());  // nothing expected
+  const auto epoch = cc.expect(3);
+  EXPECT_FALSE(cc.done());
+  cc.complete();
+  cc.complete(2);
+  EXPECT_TRUE(cc.done());
+  EXPECT_TRUE(cc.reached(epoch));
+}
+
+TEST(CompletionCounter, ReusableAcrossEpochsWithoutReset) {
+  CompletionCounter cc;
+  const auto e1 = cc.expect(2);
+  cc.complete(2);
+  EXPECT_TRUE(cc.reached(e1));
+  const auto e2 = cc.expect(5);
+  EXPECT_FALSE(cc.reached(e2));
+  cc.complete(5);
+  EXPECT_TRUE(cc.reached(e2));
+  EXPECT_EQ(cc.count(), 7u);
+  EXPECT_EQ(cc.target(), 7u);
+}
+
+TEST(CompletionCounter, ConcurrentCompletions) {
+  CompletionCounter cc;
+  constexpr int kThreads = 8;
+  constexpr int kEach = 10000;
+  const auto epoch = cc.expect(kThreads * kEach);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) cc.complete();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(cc.reached(epoch));
+  EXPECT_EQ(cc.count(), static_cast<std::uint64_t>(kThreads) * kEach);
+}
+
+}  // namespace

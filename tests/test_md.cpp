@@ -1,0 +1,453 @@
+// Tests for the mini-NAMD components (src/md): system builder, cell list,
+// interpolation tables, scalar/QPX kernels, Ewald reference, serial PME.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "md/ewald_ref.hpp"
+#include "md/kernels.hpp"
+#include "md/pme_serial.hpp"
+#include "md/system.hpp"
+#include "md/tables.hpp"
+
+namespace {
+
+using namespace bgq::md;
+
+System small_system(double box = 12.0, std::uint64_t seed = 7,
+                    bool bonds = false) {
+  BuildOptions opt;
+  opt.box = box;
+  opt.seed = seed;
+  opt.with_bonds = bonds;
+  return build_system(opt);
+}
+
+TEST(SystemBuilder, DensityAndNeutrality) {
+  auto sys = small_system(16.0);
+  const double volume = 16.0 * 16.0 * 16.0;
+  EXPECT_NEAR(static_cast<double>(sys.natoms()) / volume, 0.1, 0.02);
+  EXPECT_NEAR(sys.total_charge(), 0.0, 1e-9);
+  EXPECT_EQ(sys.natoms() % 3, 0u) << "3-site molecules";
+}
+
+TEST(SystemBuilder, PositionsInsideBox) {
+  auto sys = small_system();
+  for (const auto& p : sys.pos) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, sys.box);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, sys.box);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, sys.box);
+  }
+}
+
+TEST(SystemBuilder, BondsConnectNearbyAtoms) {
+  auto sys = small_system(12.0, 3, true);
+  EXPECT_FALSE(sys.bonds.empty());
+  for (const auto& b : sys.bonds) {
+    const double r = std::sqrt(sys.min_image(sys.pos[b.i], sys.pos[b.j])
+                                   .norm2());
+    EXPECT_NEAR(r, b.r0, 0.01);
+  }
+  EXPECT_EQ(sys.exclusions.size(), sys.natoms());  // 3 per molecule
+}
+
+TEST(SystemBuilder, VelocitiesMatchTemperature) {
+  BuildOptions opt;
+  opt.box = 24.0;
+  opt.temperature = 300.0;
+  auto sys = build_system(opt);
+  const double ke = kinetic_energy(sys.vel, sys.mass);
+  const double expect =
+      1.5 * static_cast<double>(sys.natoms()) * kBoltzmann * 300.0;
+  EXPECT_NEAR(ke / expect, 1.0, 0.1);
+}
+
+TEST(SystemBuilder, ZeroNetMomentum) {
+  auto sys = small_system(16.0);
+  Vec3 p{};
+  for (std::size_t i = 0; i < sys.natoms(); ++i) {
+    p += sys.vel[i] * sys.mass[i];
+  }
+  EXPECT_NEAR(p.x, 0, 1e-9);
+  EXPECT_NEAR(p.y, 0, 1e-9);
+  EXPECT_NEAR(p.z, 0, 1e-9);
+}
+
+TEST(System, MinImageBounds) {
+  System sys;
+  sys.box = 10;
+  const Vec3 d = sys.min_image({9.5, 0.5, 5.0}, {0.5, 9.5, 5.0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.y, 1.0, 1e-12);
+  EXPECT_NEAR(d.z, 0.0, 1e-12);
+}
+
+TEST(CellList, MatchesBruteForceEnumeration) {
+  bgq::Xoshiro256 rng(5);
+  const double box = 20.0, cutoff = 4.0;
+  std::vector<Vec3> pos(300);
+  for (auto& p : pos) {
+    p = {rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)};
+  }
+  System sys;
+  sys.box = box;
+
+  auto key = [](std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::set<std::uint64_t> brute;
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < pos.size(); ++j) {
+      if (sys.min_image(pos[i], pos[j]).norm2() <= cutoff * cutoff) {
+        brute.insert(key(i, j));
+      }
+    }
+  }
+  std::set<std::uint64_t> listed;
+  CellList cells(pos, box, cutoff);
+  cells.for_each_pair([&](std::uint32_t i, std::uint32_t j) {
+    if (sys.min_image(pos[i], pos[j]).norm2() <= cutoff * cutoff) {
+      const bool inserted = listed.insert(key(i, j)).second;
+      EXPECT_TRUE(inserted) << "pair enumerated twice: " << i << "," << j;
+    }
+  });
+  EXPECT_EQ(listed, brute);
+}
+
+TEST(CellList, SmallBoxFallsBackToAllPairs) {
+  std::vector<Vec3> pos = {{0.5, 0.5, 0.5}, {1.5, 1.5, 1.5}};
+  CellList cells(pos, 4.0, 3.0);  // fewer than 3 cells -> single cell
+  EXPECT_EQ(cells.cells_per_dim(), 1);
+  int count = 0;
+  cells.for_each_pair([&](std::uint32_t, std::uint32_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForceTable, ForceIsMinusEnergyDerivative) {
+  ForceTable table(10.0, 0.34, 8.5, 8192);
+  ForceTable::Terms lo, hi, mid;
+  for (double r2 = 2.0; r2 < 99.0; r2 += 3.1) {
+    const double h = 1e-4;
+    table.lookup(r2 - h, lo);
+    table.lookup(r2 + h, hi);
+    table.lookup(r2, mid);
+    // f = -2 dU/d(r^2) for each component, to within the linear-
+    // interpolation error of the table (a few percent near the floor,
+    // exactly as in NAMD's tables).
+    EXPECT_NEAR(mid.f_vdwA, -2 * (hi.u_vdwA - lo.u_vdwA) / (2 * h),
+                2.5e-2 * std::abs(mid.f_vdwA) + 1e-8)
+        << "r2=" << r2;
+    EXPECT_NEAR(mid.f_vdwB, -2 * (hi.u_vdwB - lo.u_vdwB) / (2 * h),
+                2.5e-2 * std::abs(mid.f_vdwB) + 1e-8);
+    EXPECT_NEAR(mid.f_elec, -2 * (hi.u_elec - lo.u_elec) / (2 * h),
+                2.5e-2 * std::abs(mid.f_elec) + 1e-8);
+  }
+}
+
+TEST(ForceTable, VdwVanishesAtCutoff) {
+  ForceTable table(10.0, 0.34, 8.5);
+  ForceTable::Terms t;
+  table.lookup(100.0, t);
+  EXPECT_NEAR(t.u_vdwA, 0.0, 1e-10);
+  EXPECT_NEAR(t.u_vdwB, 0.0, 1e-10);
+  EXPECT_NEAR(t.f_vdwA, 0.0, 1e-8);
+}
+
+TEST(ForceTable, RejectsBadParameters) {
+  EXPECT_THROW(ForceTable(10.0, 0.3, 12.0), std::invalid_argument);
+  EXPECT_THROW(ForceTable(10.0, 0.3, 8.0, 4), std::invalid_argument);
+}
+
+TEST(LjPairTable, LorentzBerthelot) {
+  std::vector<LjType> types = {{0.2, 3.0}, {0.05, 1.0}};
+  LjPairTable lj(types);
+  const double eps = std::sqrt(0.2 * 0.05);
+  const double rm = 2.0;
+  const double rm6 = std::pow(rm, 6);
+  EXPECT_NEAR(lj.a(0, 1), eps * rm6 * rm6, 1e-12);
+  EXPECT_NEAR(lj.b(0, 1), 2 * eps * rm6, 1e-12);
+  EXPECT_NEAR(lj.a(0, 1), lj.a(1, 0), 1e-15);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+struct KernelSetup {
+  System sys;
+  ForceTable table{10.0, 0.34, 8.5};
+  LjPairTable lj;
+  PairBlock pairs;
+
+  explicit KernelSetup(bool bonds = false)
+      : sys(small_system(22.0, 11, bonds)), lj(sys.lj_types) {
+    pairs = build_pairs(sys.pos, sys.type, lj, sys.box, 10.0,
+                        sys.exclusions);
+  }
+};
+
+TEST(Kernels, ScalarAndQpxAgree) {
+  KernelSetup k;
+  std::vector<Vec3> f1(k.sys.natoms()), f2(k.sys.natoms());
+  const auto e1 = compute_nonbonded_scalar(k.sys.pos, k.sys.charge,
+                                           k.pairs, k.table, k.sys.box, f1);
+  const auto e2 = compute_nonbonded_qpx(k.sys.pos, k.sys.charge, k.pairs,
+                                        k.table, k.sys.box, f2);
+  EXPECT_NEAR(e1.vdw, e2.vdw, 1e-9 * (1 + std::abs(e1.vdw)));
+  EXPECT_NEAR(e1.elec_real, e2.elec_real,
+              1e-9 * (1 + std::abs(e1.elec_real)));
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i].x, f2[i].x, 1e-9 * (1 + std::abs(f1[i].x)));
+    EXPECT_NEAR(f1[i].y, f2[i].y, 1e-9 * (1 + std::abs(f1[i].y)));
+    EXPECT_NEAR(f1[i].z, f2[i].z, 1e-9 * (1 + std::abs(f1[i].z)));
+  }
+}
+
+TEST(Kernels, NewtonPairsConserveMomentum) {
+  KernelSetup k;
+  std::vector<Vec3> f(k.sys.natoms());
+  compute_nonbonded_scalar(k.sys.pos, k.sys.charge, k.pairs, k.table,
+                           k.sys.box, f);
+  Vec3 sum{};
+  for (const auto& v : f) sum += v;
+  EXPECT_NEAR(sum.x, 0, 1e-9);
+  EXPECT_NEAR(sum.y, 0, 1e-9);
+  EXPECT_NEAR(sum.z, 0, 1e-9);
+}
+
+TEST(Kernels, ForceMatchesFiniteDifferenceOfEnergy) {
+  // Bonded system: exclusions remove the sub-Angstrom intramolecular
+  // pairs that sit below the table floor (where lookup clamps and the
+  // force is intentionally not the energy slope).  A fine table keeps the
+  // interpolation error below the finite-difference tolerance.
+  KernelSetup k(true);
+  k.table = ForceTable(10.0, 0.34, 8.5, 65536);
+  auto energy_at = [&](const std::vector<Vec3>& pos) {
+    std::vector<Vec3> f(pos.size());
+    // Pair list rebuilt so moved atoms keep their in-range pairs exact.
+    auto pairs =
+        build_pairs(pos, k.sys.type, k.lj, k.sys.box, 10.0,
+                    k.sys.exclusions);
+    const auto e = compute_nonbonded_scalar(pos, k.sys.charge, pairs,
+                                            k.table, k.sys.box, f);
+    return e.vdw + e.elec_real;
+  };
+
+  std::vector<Vec3> f(k.sys.natoms());
+  compute_nonbonded_scalar(k.sys.pos, k.sys.charge, k.pairs, k.table,
+                           k.sys.box, f);
+
+  const double h = 2e-6;
+  bgq::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto i = static_cast<std::size_t>(
+        rng.below(k.sys.natoms()));
+    auto pos = k.sys.pos;
+    pos[i].x += h;
+    const double ep = energy_at(pos);
+    pos[i].x -= 2 * h;
+    const double em = energy_at(pos);
+    const double fd = -(ep - em) / (2 * h);
+    EXPECT_NEAR(f[i].x, fd, 2e-2 * (1 + std::abs(fd))) << "atom " << i;
+  }
+}
+
+TEST(Kernels, ExclusionsRemovePairs) {
+  auto sys = small_system(14.0, 5, true);
+  LjPairTable lj(sys.lj_types);
+  auto with = build_pairs(sys.pos, sys.type, lj, sys.box, 8.0, {});
+  auto without =
+      build_pairs(sys.pos, sys.type, lj, sys.box, 8.0, sys.exclusions);
+  EXPECT_EQ(with.size(), without.size() + sys.exclusions.size())
+      << "every excluded (bonded) pair is within the cutoff";
+}
+
+TEST(Kernels, AngleAtEquilibriumHasZeroForceAndEnergy) {
+  // 90-degree angle with theta0 = pi/2.
+  std::vector<Vec3> pos = {{2, 1, 1}, {1, 1, 1}, {1, 2, 1}};
+  std::vector<Angle> angles = {{0, 1, 2, 50.0, 3.14159265358979 / 2}};
+  std::vector<Vec3> f(3);
+  const double e = compute_angles(pos, angles, 20.0, f);
+  EXPECT_NEAR(e, 0.0, 1e-9);
+  for (const auto& v : f) {
+    EXPECT_NEAR(v.x, 0, 1e-9);
+    EXPECT_NEAR(v.y, 0, 1e-9);
+    EXPECT_NEAR(v.z, 0, 1e-9);
+  }
+}
+
+TEST(Kernels, AngleForceMatchesFiniteDifference) {
+  std::vector<Vec3> pos = {{2, 1, 1}, {1, 1, 1}, {1.3, 2.1, 0.7}};
+  std::vector<Angle> angles = {{0, 1, 2, 55.0, 1.911}};  // ~109.5 deg
+  std::vector<Vec3> f(3);
+  compute_angles(pos, angles, 20.0, f);
+
+  const double h = 1e-6;
+  for (std::size_t atom = 0; atom < 3; ++atom) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto perturb = [&](double delta) {
+        auto p = pos;
+        (axis == 0 ? p[atom].x : axis == 1 ? p[atom].y : p[atom].z) +=
+            delta;
+        std::vector<Vec3> tmp(3);
+        return compute_angles(p, angles, 20.0, tmp);
+      };
+      const double fd = -(perturb(h) - perturb(-h)) / (2 * h);
+      const double got = axis == 0   ? f[atom].x
+                         : axis == 1 ? f[atom].y
+                                     : f[atom].z;
+      EXPECT_NEAR(got, fd, 1e-5 * (1 + std::abs(fd)))
+          << "atom " << atom << " axis " << axis;
+    }
+  }
+}
+
+TEST(Kernels, AngleForcesConserveMomentum) {
+  std::vector<Vec3> pos = {{2.2, 1, 1}, {1, 1.1, 1}, {1.4, 2.4, 0.9}};
+  std::vector<Angle> angles = {{0, 1, 2, 55.0, 2.0}};
+  std::vector<Vec3> f(3);
+  compute_angles(pos, angles, 20.0, f);
+  EXPECT_NEAR(f[0].x + f[1].x + f[2].x, 0, 1e-12);
+  EXPECT_NEAR(f[0].y + f[1].y + f[2].y, 0, 1e-12);
+  EXPECT_NEAR(f[0].z + f[1].z + f[2].z, 0, 1e-12);
+}
+
+TEST(Kernels, BuilderAnglesStartNearMinimum) {
+  auto sys = small_system(12.0, 3, true);
+  ASSERT_FALSE(sys.angles.empty());
+  EXPECT_EQ(sys.angles.size(), sys.natoms() / 3);
+  std::vector<Vec3> f(sys.natoms());
+  const double e = compute_angles(sys.pos, sys.angles, sys.box, f);
+  EXPECT_NEAR(e, 0.0, 1e-6 * sys.angles.size());
+}
+
+TEST(Kernels, BondForcesRestoreEquilibrium) {
+  std::vector<Vec3> pos = {{1, 1, 1}, {2.2, 1, 1}};
+  std::vector<Bond> bonds = {{0, 1, 100.0, 1.0}};
+  std::vector<Vec3> f(2);
+  const double e = compute_bonds(pos, bonds, 10.0, f);
+  EXPECT_NEAR(e, 100.0 * 0.2 * 0.2, 1e-12);
+  EXPECT_GT(f[0].x, 0) << "stretched bond pulls atom 0 toward atom 1";
+  EXPECT_LT(f[1].x, 0);
+  EXPECT_NEAR(f[0].x + f[1].x, 0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Ewald and PME
+// ---------------------------------------------------------------------------
+
+TEST(EwaldRef, TotalIndependentOfSplittingParameter) {
+  auto sys = small_system(10.0, 17);
+  // Use a subset to keep the naive sums fast.
+  sys.pos.resize(30);
+  sys.vel.resize(30);
+  sys.mass.resize(30);
+  sys.type.resize(30);
+  sys.charge.resize(30);
+  // Re-neutralize the truncated charge set.
+  const double q = sys.total_charge() / 30.0;
+  for (auto& c : sys.charge) c -= q;
+
+  const auto a = ewald_reference(sys, 0.35, 12);
+  const auto b = ewald_reference(sys, 0.45, 14);
+  EXPECT_NEAR(a.total(), b.total(), 1e-3 * std::abs(a.total()) + 1e-4);
+}
+
+TEST(EwaldRef, ForcesSumToZero) {
+  auto sys = small_system(10.0, 19);
+  sys.pos.resize(24);
+  sys.charge.resize(24);
+  const double q = sys.total_charge() / 24.0;
+  for (auto& c : sys.charge) c -= q;
+  const auto r = ewald_reference(sys, 0.4, 10);
+  Vec3 sum{};
+  for (std::size_t i = 0; i < 24; ++i) sum += r.f_real[i] + r.f_recip[i];
+  EXPECT_NEAR(sum.x, 0, 1e-6);
+  EXPECT_NEAR(sum.y, 0, 1e-6);
+  EXPECT_NEAR(sum.z, 0, 1e-6);
+}
+
+TEST(Bspline4, PartitionOfUnityAndDerivative) {
+  double w[4], dw[4];
+  for (double u : {0.0, 0.25, 0.5, 0.99, 3.7, 10.2}) {
+    bspline4(u, w, dw);
+    EXPECT_NEAR(w[0] + w[1] + w[2] + w[3], 1.0, 1e-12) << u;
+    EXPECT_NEAR(dw[0] + dw[1] + dw[2] + dw[3], 0.0, 1e-12) << u;
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(PmeSerial, RecipEnergyMatchesNaiveEwald) {
+  auto sys = small_system(10.0, 23);
+  sys.pos.resize(45);
+  sys.charge.resize(45);
+  const double q = sys.total_charge() / 45.0;
+  for (auto& c : sys.charge) c -= q;
+
+  const double beta = 0.45;
+  const auto ref = ewald_reference(sys, beta, 14);
+  PmeSerial pme(32, beta, sys.box);
+  const auto got = pme.compute(sys.pos, sys.charge);
+
+  EXPECT_NEAR(got.e_recip, ref.e_recip,
+              2e-3 * std::abs(ref.e_recip) + 1e-5);
+  EXPECT_NEAR(pme.self_energy(sys.charge), ref.e_self, 1e-9);
+}
+
+TEST(PmeSerial, RecipForcesMatchNaiveEwald) {
+  auto sys = small_system(10.0, 29);
+  sys.pos.resize(30);
+  sys.charge.resize(30);
+  const double q = sys.total_charge() / 30.0;
+  for (auto& c : sys.charge) c -= q;
+
+  const double beta = 0.45;
+  const auto ref = ewald_reference(sys, beta, 14);
+  PmeSerial pme(32, beta, sys.box);
+  const auto got = pme.compute(sys.pos, sys.charge);
+
+  double max_f = 0;
+  for (const auto& f : ref.f_recip) {
+    max_f = std::max({max_f, std::abs(f.x), std::abs(f.y), std::abs(f.z)});
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(got.force[i].x, ref.f_recip[i].x, 5e-3 * max_f + 1e-5);
+    EXPECT_NEAR(got.force[i].y, ref.f_recip[i].y, 5e-3 * max_f + 1e-5);
+    EXPECT_NEAR(got.force[i].z, ref.f_recip[i].z, 5e-3 * max_f + 1e-5);
+  }
+}
+
+TEST(PmeSerial, SpreadConservesTotalCharge) {
+  auto sys = small_system(12.0, 31);
+  PmeSerial pme(24, 0.4, sys.box);
+  std::vector<double> grid;
+  pme.spread(sys.pos, sys.charge, grid);
+  const double total = std::accumulate(grid.begin(), grid.end(), 0.0);
+  EXPECT_NEAR(total, sys.total_charge(), 1e-9);
+}
+
+TEST(PmeSerial, EnergyScalesAsChargeSquared) {
+  auto sys = small_system(10.0, 37);
+  sys.pos.resize(21);
+  sys.charge.resize(21);
+  const double q = sys.total_charge() / 21.0;
+  for (auto& c : sys.charge) c -= q;
+  PmeSerial pme(24, 0.4, sys.box);
+  const double e1 = pme.compute(sys.pos, sys.charge).e_recip;
+  for (auto& c : sys.charge) c *= 2.0;
+  const double e2 = pme.compute(sys.pos, sys.charge).e_recip;
+  EXPECT_NEAR(e2, 4.0 * e1, 1e-9 * std::abs(e2));
+}
+
+TEST(PmeSerial, RejectsBadGrid) {
+  EXPECT_THROW(PmeSerial(7, 0.3, 10.0), std::invalid_argument);
+  EXPECT_THROW(PmeSerial(2, 0.3, 10.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Tests for the lockless queue family (src/queue): the paper's L2 atomic
+// queue with overflow, the MPI-ordered variant, the mutex baseline and the
+// SPSC work ring.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "queue/l2_atomic_queue.hpp"
+#include "queue/mutex_queue.hpp"
+#include "queue/ordered_l2_queue.hpp"
+#include "queue/spsc_ring.hpp"
+
+namespace {
+
+using bgq::queue::L2AtomicQueue;
+using bgq::queue::MutexQueue;
+using bgq::queue::OrderedL2Queue;
+using bgq::queue::SpscRing;
+
+std::uint64_t* tag(std::uint64_t v) {
+  return reinterpret_cast<std::uint64_t*>(v + 1);  // +1: never nullptr
+}
+std::uint64_t untag(std::uint64_t* p) {
+  return reinterpret_cast<std::uint64_t>(p) - 1;
+}
+
+TEST(L2AtomicQueue, EmptyDequeuesNull) {
+  L2AtomicQueue<int*> q(8);
+  EXPECT_EQ(q.try_dequeue(), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(L2AtomicQueue, FifoWithinSingleProducer) {
+  L2AtomicQueue<std::uint64_t*> q(16);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_TRUE(q.enqueue(tag(i)));
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(untag(q.try_dequeue()), i);
+  }
+  EXPECT_EQ(q.try_dequeue(), nullptr);
+}
+
+TEST(L2AtomicQueue, CapacityRoundsToPowerOfTwo) {
+  L2AtomicQueue<int*> q(100);
+  EXPECT_EQ(q.capacity(), 128u);
+}
+
+TEST(L2AtomicQueue, OverflowsToMutexQueueWhenRingFull) {
+  L2AtomicQueue<std::uint64_t*> q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(tag(i)));
+  // Ring full: the next enqueues take the overflow path.
+  EXPECT_FALSE(q.enqueue(tag(4)));
+  EXPECT_FALSE(q.enqueue(tag(5)));
+  EXPECT_EQ(q.overflow_count(), 2u);
+
+  // Consumer drains the lockless ring first, then overflow.
+  std::vector<std::uint64_t> order;
+  while (auto* p = q.try_dequeue()) order.push_back(untag(p));
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(L2AtomicQueue, RingReopensAfterDrain) {
+  L2AtomicQueue<std::uint64_t*> q(4);
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(q.enqueue(tag(i))) << "round " << round;
+    }
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(untag(q.try_dequeue()), i);
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(L2AtomicQueue, TryEnqueueFailsWhenFullInsteadOfSpilling) {
+  L2AtomicQueue<std::uint64_t*> q(2);
+  EXPECT_TRUE(q.try_enqueue(tag(0)));
+  EXPECT_TRUE(q.try_enqueue(tag(1)));
+  EXPECT_FALSE(q.try_enqueue(tag(2)));
+  EXPECT_EQ(q.overflow_count(), 0u);
+}
+
+// Property: N producers x M messages, single consumer — every message is
+// delivered exactly once regardless of ring size (overflow pressure is the
+// parameter).
+class L2QueueMpsc : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(L2QueueMpsc, AllMessagesDeliveredExactlyOnce) {
+  const std::size_t ring_capacity = GetParam();
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 10000;
+
+  L2AtomicQueue<std::uint64_t*> q(ring_capacity);
+  std::atomic<bool> done{false};
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kProducers * kPerProducer);
+
+  std::thread consumer([&] {
+    while (true) {
+      if (auto* p = q.try_dequeue()) {
+        seen.push_back(untag(p));
+      } else if (done.load(std::memory_order_acquire) && q.empty()) {
+        // One final sweep: producers have finished and queue reads empty.
+        while (auto* p2 = q.try_dequeue()) seen.push_back(untag(p2));
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.enqueue(tag(static_cast<std::uint64_t>(t) * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+  std::set<std::uint64_t> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), seen.size()) << "duplicate delivery";
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), kProducers * kPerProducer - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, L2QueueMpsc,
+                         ::testing::Values(2, 8, 64, 1024),
+                         [](const auto& info) {
+                           return "ring" + std::to_string(info.param);
+                         });
+
+TEST(OrderedL2Queue, PreservesFifoAcrossOverflow) {
+  OrderedL2Queue<std::uint64_t*> q(2);
+  // Fill ring, spill to overflow, then drain: order must be global FIFO.
+  for (std::uint64_t i = 0; i < 6; ++i) q.enqueue(tag(i));
+  std::vector<std::uint64_t> order;
+  while (auto* p = q.try_dequeue()) order.push_back(untag(p));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(OrderedL2Queue, LaterEnqueueCannotOvertakeOverflow) {
+  OrderedL2Queue<std::uint64_t*> q(2);
+  q.enqueue(tag(0));
+  q.enqueue(tag(1));
+  q.enqueue(tag(2));  // overflow
+  // Drain one from the ring; slot opens, but message 3 must still queue
+  // behind 2 (which sits in overflow).
+  EXPECT_EQ(untag(q.try_dequeue()), 0u);
+  q.enqueue(tag(3));
+  std::vector<std::uint64_t> order;
+  while (auto* p = q.try_dequeue()) order.push_back(untag(p));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(OrderedL2Queue, MpscDeliversAll) {
+  OrderedL2Queue<std::uint64_t*> q(8);
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  std::atomic<bool> done{false};
+  std::size_t count = 0;
+
+  std::thread consumer([&] {
+    while (true) {
+      if (q.try_dequeue()) {
+        ++count;
+      } else if (done.load() && q.empty()) {
+        while (q.try_dequeue()) ++count;
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) q.enqueue(tag(i));
+    });
+  }
+  for (auto& p : producers) p.join();
+  done.store(true);
+  consumer.join();
+  EXPECT_EQ(count, kProducers * kPerProducer);
+}
+
+TEST(MutexQueue, BasicFifo) {
+  MutexQueue<std::uint64_t*> q;
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(tag(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(untag(q.try_dequeue()), i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.try_dequeue(), nullptr);
+}
+
+TEST(SpscRing, FillDrain) {
+  SpscRing<int> r(4);
+  EXPECT_TRUE(r.try_enqueue(1));
+  EXPECT_TRUE(r.try_enqueue(2));
+  EXPECT_TRUE(r.try_enqueue(3));
+  EXPECT_TRUE(r.try_enqueue(4));
+  EXPECT_FALSE(r.try_enqueue(5)) << "ring of 4 must reject the 5th";
+  EXPECT_EQ(r.try_dequeue().value(), 1);
+  EXPECT_TRUE(r.try_enqueue(5));
+  for (int expect : {2, 3, 4, 5}) EXPECT_EQ(r.try_dequeue().value(), expect);
+  EXPECT_FALSE(r.try_dequeue().has_value());
+}
+
+TEST(SpscRing, StreamingPairPreservesOrderAndCount) {
+  SpscRing<std::uint64_t> r(64);
+  constexpr std::uint64_t kN = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (r.try_enqueue(i)) ++i;
+    }
+  });
+  std::uint64_t expect = 0;
+  while (expect < kN) {
+    if (auto v = r.try_dequeue()) {
+      ASSERT_EQ(*v, expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> r(4);
+  EXPECT_TRUE(r.try_enqueue(std::make_unique<int>(7)));
+  auto v = r.try_dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+}  // namespace

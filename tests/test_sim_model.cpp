@@ -1,0 +1,260 @@
+// Tests for the DES engine (src/sim) and the scale-out cost models
+// (src/model): engine semantics, network-model monotonicities, and the
+// qualitative shapes the paper's tables/figures rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/fft_model.hpp"
+#include "model/namd_model.hpp"
+#include "model/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/phase_network.hpp"
+
+namespace {
+
+using namespace bgq;
+
+TEST(SimEngine, EventsRunInTimeOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.schedule(3.0, [&] { order.push_back(3); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.schedule(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(SimEngine, TiesBreakByInsertionOrder) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.schedule(1.0, [&] { order.push_back(0); });
+  eng.schedule(1.0, [&] { order.push_back(1); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimEngine, EventsMayScheduleEvents) {
+  sim::Engine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] {
+    ++fired;
+    eng.after(1.0, [&] { ++fired; });
+  });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(SimEngine, RunUntilStopsEarly) {
+  sim::Engine eng;
+  int fired = 0;
+  eng.schedule(1.0, [&] { ++fired; });
+  eng.schedule(5.0, [&] { ++fired; });
+  eng.run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pending(), 1u);
+}
+
+TEST(SimServer, SerializesWork) {
+  sim::Server s;
+  EXPECT_DOUBLE_EQ(s.submit(0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.submit(0.0, 2.0), 4.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(s.submit(10.0, 1.0), 11.0);  // idle gap honoured
+  EXPECT_DOUBLE_EQ(s.busy_time(), 5.0);
+}
+
+TEST(PhaseNetwork, UncontendedLatencyMatchesAlphaBeta) {
+  topo::Torus t = topo::Torus::bgq_partition(32);
+  sim::PhaseNetwork net(t, net::NetworkParams{});
+  const sim::Time a = net.deliver(0.0, 0, 1, 512);
+  // base + ser + hop terms: sub-2us for one packet to a neighbour.
+  EXPECT_GT(a, 0.5);
+  EXPECT_LT(a, 2.0);
+}
+
+TEST(PhaseNetwork, ContentionDelaysSharedLinks) {
+  topo::Torus t = topo::Torus::bgq_partition(32);
+  sim::PhaseNetwork busy(t, net::NetworkParams{});
+  sim::PhaseNetwork idle(t, net::NetworkParams{});
+  // Ten large messages over the same link vs one.
+  sim::Time last = 0;
+  for (int i = 0; i < 10; ++i) {
+    last = busy.deliver(0.0, 0, 1, 64 * 1024);
+  }
+  const sim::Time single = idle.deliver(0.0, 0, 1, 64 * 1024);
+  EXPECT_GT(last, 5 * single);
+}
+
+TEST(PhaseNetwork, MoreHopsTakeLonger) {
+  topo::Torus t = topo::Torus::bgq_partition(512);
+  sim::PhaseNetwork net(t, net::NetworkParams{});
+  const auto far =
+      static_cast<topo::NodeId>(t.node_count() / 2 + 1);  // many hops
+  EXPECT_GT(net.deliver(0.0, 0, far, 512), net.deliver(0.0, 0, 1, 512));
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model shape properties (the qualitative claims of Table I and the
+// NAMD figures; quantitative comparisons live in the benches).
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeParams, ModeLatencyOrderingMatchesFig4) {
+  // Paper Fig. 4 short-message anchors: non-SMP < SMP < SMP+commthreads.
+  model::RuntimeParams nonsmp;
+  nonsmp.mode = model::Mode::kNonSmp;
+  model::RuntimeParams smp;
+  smp.mode = model::Mode::kSmp;
+  model::RuntimeParams ct;
+  ct.mode = model::Mode::kSmpCommThreads;
+
+  auto one_way = [](const model::RuntimeParams& rt) {
+    return rt.worker_send_cost() + rt.commthread_send_cost() +
+           rt.poll_recv_cost() + rt.worker_sched_cost();
+  };
+  EXPECT_LT(one_way(nonsmp), one_way(smp));
+  EXPECT_LT(one_way(smp), one_way(ct));
+}
+
+TEST(RuntimeParams, L2OffInflatesSoftwareCosts) {
+  model::RuntimeParams on, off;
+  off.use_l2_atomics = false;
+  EXPECT_GT(off.worker_send_cost(), on.worker_send_cost());
+  EXPECT_GT(off.poll_recv_cost(), on.poll_recv_cost());
+}
+
+TEST(MachineModel, SmtThroughputMatchesPaperAnchor) {
+  // §IV-B.1: 2.3x with four threads per core vs one.
+  model::MachineModel m = model::MachineModel::bgq();
+  EXPECT_NEAR(m.node_throughput(64) / m.node_throughput(16), 2.3, 0.01);
+  EXPECT_GT(m.node_throughput(32), m.node_throughput(16));
+}
+
+TEST(FftModel, M2MBeatsP2PAndGapGrowsWithNodes) {
+  // Table I: m2m wins everywhere; the advantage grows with node count.
+  auto ratio_at = [](std::size_t nodes) {
+    model::FftRun p2p;
+    p2p.n = 32;
+    p2p.nodes = nodes;
+    p2p.use_m2m = false;
+    model::FftRun m2m = p2p;
+    m2m.use_m2m = true;
+    return simulate_fft(p2p).step_us / simulate_fft(m2m).step_us;
+  };
+  const double r64 = ratio_at(64);
+  const double r1024 = ratio_at(1024);
+  EXPECT_GT(r64, 1.0);
+  EXPECT_GT(r1024, r64);
+}
+
+TEST(FftModel, M2MAdvantageShrinksForLargerProblems) {
+  // Table I: 1.66x at 128^3/64 nodes vs 3.33x at 32^3/64 nodes.
+  auto ratio_for = [](std::size_t n) {
+    model::FftRun p2p;
+    p2p.n = n;
+    p2p.nodes = 64;
+    p2p.use_m2m = false;
+    model::FftRun m2m = p2p;
+    m2m.use_m2m = true;
+    return simulate_fft(p2p).step_us / simulate_fft(m2m).step_us;
+  };
+  EXPECT_GT(ratio_for(32), ratio_for(128));
+}
+
+TEST(FftModel, StrongScalingReducesStepTime) {
+  model::FftRun run;
+  run.n = 128;
+  run.use_m2m = true;
+  run.nodes = 64;
+  const double t64 = simulate_fft(run).step_us;
+  run.nodes = 1024;
+  const double t1024 = simulate_fft(run).step_us;
+  EXPECT_LT(t1024, t64);
+}
+
+TEST(NamdModel, ComputeBoundPrefersAllWorkerThreads) {
+  // Fig. 7 at small node counts: 64 worker threads beat 32w+8c.
+  model::NamdRun w64;
+  w64.nodes = 32;
+  w64.workers = 64;
+  w64.runtime.mode = model::Mode::kSmp;
+  model::NamdRun w32c8 = w64;
+  w32c8.workers = 32;
+  w32c8.runtime.mode = model::Mode::kSmpCommThreads;
+  w32c8.runtime.comm_threads = 8;
+  EXPECT_LT(simulate_namd_step(w64).total_us,
+            simulate_namd_step(w32c8).total_us);
+}
+
+TEST(NamdModel, CommBoundPrefersCommThreads) {
+  // Fig. 7 at scale: dedicated comm threads win.
+  model::NamdRun w64;
+  w64.nodes = 4096;
+  w64.workers = 64;
+  w64.runtime.mode = model::Mode::kSmp;
+  model::NamdRun w32c8 = w64;
+  w32c8.workers = 32;
+  w32c8.runtime.mode = model::Mode::kSmpCommThreads;
+  w32c8.runtime.comm_threads = 8;
+  EXPECT_GT(simulate_namd_step(w64).total_us,
+            simulate_namd_step(w32c8).total_us);
+}
+
+TEST(NamdModel, L2AtomicsSpeedUpCommBoundRuns) {
+  // Fig. 8: disabling L2 atomics slows the 512-node run substantially.
+  model::NamdRun on;
+  on.nodes = 512;
+  on.workers = 48;
+  on.runtime.mode = model::Mode::kSmp;
+  model::NamdRun off = on;
+  off.runtime.use_l2_atomics = false;
+  const double t_on = simulate_namd_step(on).total_us;
+  const double t_off = simulate_namd_step(off).total_us;
+  EXPECT_GT(t_off / t_on, 1.2);
+}
+
+TEST(NamdModel, M2MPmeImprovesScaling) {
+  // Figs. 10/12: many-to-many PME shortens the PME phase.
+  model::NamdRun p2p;
+  p2p.nodes = 1024;
+  p2p.workers = 32;
+  p2p.runtime.mode = model::Mode::kSmpCommThreads;
+  p2p.m2m_pme = false;
+  model::NamdRun m2m = p2p;
+  m2m.m2m_pme = true;
+  EXPECT_LT(simulate_namd_step(m2m).pme_us,
+            simulate_namd_step(p2p).pme_us);
+}
+
+TEST(NamdModel, BgqOutperformsBgpPerNode) {
+  // Fig. 11: BG/Q steps are much faster than BG/P at equal node count.
+  model::NamdRun q;
+  q.nodes = 1024;
+  q.workers = 48;
+  q.runtime.mode = model::Mode::kSmpCommThreads;
+  model::NamdRun p = q;
+  p.machine = model::MachineModel::bgp();
+  p.workers = 4;
+  p.runtime.mode = model::Mode::kNonSmp;
+  EXPECT_LT(simulate_namd_step(q).total_us,
+            simulate_namd_step(p).total_us);
+}
+
+TEST(NamdModel, StmvScalesTo16kNodes) {
+  // Fig. 12 / Table II: step time keeps dropping out to 16,384 nodes.
+  model::NamdRun run;
+  run.system = model::NamdSystem::stmv100m();
+  run.workers = 48;
+  run.m2m_pme = true;
+  run.runtime.mode = model::Mode::kSmpCommThreads;
+  double prev = 1e18;
+  for (std::size_t nodes : {2048, 4096, 8192, 16384}) {
+    run.nodes = nodes;
+    const double t = simulate_namd_step(run).total_us;
+    EXPECT_LT(t, prev) << nodes;
+    prev = t;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the wakeup-unit emulation (src/wakeup).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "wakeup/wakeup_unit.hpp"
+
+namespace {
+
+using bgq::wakeup::WaitGate;
+using bgq::wakeup::WakeupUnit;
+
+TEST(WaitGate, WakeBeforeCommitDoesNotBlock) {
+  WaitGate g;
+  const auto seen = g.prepare_wait();
+  g.wake();
+  g.commit_wait(seen);  // must return immediately
+  SUCCEED();
+}
+
+TEST(WaitGate, CancelWaitLeavesNoWaiters) {
+  WaitGate g;
+  g.prepare_wait();
+  EXPECT_TRUE(g.has_waiters());
+  g.cancel_wait();
+  EXPECT_FALSE(g.has_waiters());
+}
+
+TEST(WaitGate, SleeperIsWokenByProducer) {
+  WaitGate g;
+  std::atomic<bool> work{false};
+  std::atomic<bool> processed{false};
+
+  std::thread sleeper([&] {
+    for (;;) {
+      if (work.load(std::memory_order_acquire)) {
+        processed.store(true, std::memory_order_release);
+        return;
+      }
+      const auto seen = g.prepare_wait();
+      if (work.load(std::memory_order_acquire)) {
+        g.cancel_wait();
+        continue;
+      }
+      g.commit_wait(seen);
+    }
+  });
+
+  // Give the sleeper a chance to park (not required for correctness).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  work.store(true, std::memory_order_release);
+  g.wake();
+  sleeper.join();
+  EXPECT_TRUE(processed.load());
+}
+
+TEST(WaitGate, ManyIterationsNoLostWakeups) {
+  // Stress the prepare/cancel/commit protocol: a producer-consumer pair
+  // doing many short sleeps must never deadlock.
+  WaitGate g;
+  std::atomic<int> available{0};
+  constexpr int kN = 20000;
+
+  std::thread consumer([&] {
+    int consumed = 0;
+    while (consumed < kN) {
+      if (available.load(std::memory_order_acquire) > consumed) {
+        ++consumed;
+        continue;
+      }
+      const auto seen = g.prepare_wait();
+      if (available.load(std::memory_order_acquire) > consumed) {
+        g.cancel_wait();
+        continue;
+      }
+      g.commit_wait(seen);
+    }
+  });
+
+  for (int i = 0; i < kN; ++i) {
+    available.fetch_add(1, std::memory_order_release);
+    g.wake();
+  }
+  consumer.join();
+  SUCCEED();
+}
+
+TEST(WaitGate, MultipleSleepersAllWoken) {
+  WaitGate g;
+  std::atomic<bool> go{false};
+  std::atomic<int> awake{0};
+  std::vector<std::thread> sleepers;
+  for (int t = 0; t < 4; ++t) {
+    sleepers.emplace_back([&] {
+      for (;;) {
+        if (go.load(std::memory_order_acquire)) break;
+        const auto seen = g.prepare_wait();
+        if (go.load(std::memory_order_acquire)) {
+          g.cancel_wait();
+          break;
+        }
+        g.commit_wait(seen);
+      }
+      awake.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  go.store(true, std::memory_order_release);
+  g.wake();
+  for (auto& t : sleepers) t.join();
+  EXPECT_EQ(awake.load(), 4);
+}
+
+TEST(WakeupUnit, GatesAreIndependent) {
+  WakeupUnit wu(3);
+  EXPECT_EQ(wu.gate_count(), 3u);
+  const auto seen = wu.gate(1).prepare_wait();
+  wu.gate(0).wake();  // different gate: must not satisfy gate 1
+  EXPECT_TRUE(wu.gate(1).has_waiters());
+  wu.gate(1).wake();
+  wu.gate(1).commit_wait(seen);
+  EXPECT_GE(wu.total_wakeups(), 1u);
+}
+
+}  // namespace
