@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idlepoll.dir/bench_idlepoll.cpp.o"
+  "CMakeFiles/bench_idlepoll.dir/bench_idlepoll.cpp.o.d"
+  "bench_idlepoll"
+  "bench_idlepoll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idlepoll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

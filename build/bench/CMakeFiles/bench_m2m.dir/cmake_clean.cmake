@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m2m.dir/bench_m2m.cpp.o"
+  "CMakeFiles/bench_m2m.dir/bench_m2m.cpp.o.d"
+  "bench_m2m"
+  "bench_m2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

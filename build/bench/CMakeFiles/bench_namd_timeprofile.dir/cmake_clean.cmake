@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_namd_timeprofile.dir/bench_namd_timeprofile.cpp.o"
+  "CMakeFiles/bench_namd_timeprofile.dir/bench_namd_timeprofile.cpp.o.d"
+  "bench_namd_timeprofile"
+  "bench_namd_timeprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_namd_timeprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_qpx_kernels.cpp" "bench/CMakeFiles/bench_qpx_kernels.dir/bench_qpx_kernels.cpp.o" "gcc" "bench/CMakeFiles/bench_qpx_kernels.dir/bench_qpx_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/bgq_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/bgq_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/m2m/CMakeFiles/bgq_m2m.dir/DependInfo.cmake"
+  "/root/repo/build/src/converse/CMakeFiles/bgq_converse.dir/DependInfo.cmake"
+  "/root/repo/build/src/pami/CMakeFiles/bgq_pami.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/bgq_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bgq_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qpx_kernels.dir/bench_qpx_kernels.cpp.o"
+  "CMakeFiles/bench_qpx_kernels.dir/bench_qpx_kernels.cpp.o.d"
+  "bench_qpx_kernels"
+  "bench_qpx_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qpx_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_minicluster.dir/md_minicluster.cpp.o"
+  "CMakeFiles/md_minicluster.dir/md_minicluster.cpp.o.d"
+  "md_minicluster"
+  "md_minicluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_minicluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("l2atomic")
+subdirs("queue")
+subdirs("alloc")
+subdirs("wakeup")
+subdirs("topology")
+subdirs("net")
+subdirs("pami")
+subdirs("converse")
+subdirs("m2m")
+subdirs("charm")
+subdirs("fft")
+subdirs("qpx")
+subdirs("md")
+subdirs("sim")
+subdirs("model")

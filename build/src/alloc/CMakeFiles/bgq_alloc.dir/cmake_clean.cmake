@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_alloc.dir/arena_allocator.cpp.o"
+  "CMakeFiles/bgq_alloc.dir/arena_allocator.cpp.o.d"
+  "CMakeFiles/bgq_alloc.dir/pool_allocator.cpp.o"
+  "CMakeFiles/bgq_alloc.dir/pool_allocator.cpp.o.d"
+  "libbgq_alloc.a"
+  "libbgq_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_charm.dir/chare.cpp.o"
+  "CMakeFiles/bgq_charm.dir/chare.cpp.o.d"
+  "libbgq_charm.a"
+  "libbgq_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

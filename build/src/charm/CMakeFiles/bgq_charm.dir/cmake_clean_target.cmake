@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgq_charm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_converse.dir/machine.cpp.o"
+  "CMakeFiles/bgq_converse.dir/machine.cpp.o.d"
+  "libbgq_converse.a"
+  "libbgq_converse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/bgq_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/bgq_fft.dir/pencil3d.cpp.o"
+  "CMakeFiles/bgq_fft.dir/pencil3d.cpp.o.d"
+  "libbgq_fft.a"
+  "libbgq_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_m2m.dir/manytomany.cpp.o"
+  "CMakeFiles/bgq_m2m.dir/manytomany.cpp.o.d"
+  "libbgq_m2m.a"
+  "libbgq_m2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_m2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_md.dir/ewald_ref.cpp.o"
+  "CMakeFiles/bgq_md.dir/ewald_ref.cpp.o.d"
+  "CMakeFiles/bgq_md.dir/kernels.cpp.o"
+  "CMakeFiles/bgq_md.dir/kernels.cpp.o.d"
+  "CMakeFiles/bgq_md.dir/parallel_md.cpp.o"
+  "CMakeFiles/bgq_md.dir/parallel_md.cpp.o.d"
+  "CMakeFiles/bgq_md.dir/pme_serial.cpp.o"
+  "CMakeFiles/bgq_md.dir/pme_serial.cpp.o.d"
+  "CMakeFiles/bgq_md.dir/system.cpp.o"
+  "CMakeFiles/bgq_md.dir/system.cpp.o.d"
+  "CMakeFiles/bgq_md.dir/tables.cpp.o"
+  "CMakeFiles/bgq_md.dir/tables.cpp.o.d"
+  "libbgq_md.a"
+  "libbgq_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

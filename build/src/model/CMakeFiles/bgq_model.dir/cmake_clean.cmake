@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_model.dir/fft_model.cpp.o"
+  "CMakeFiles/bgq_model.dir/fft_model.cpp.o.d"
+  "CMakeFiles/bgq_model.dir/namd_model.cpp.o"
+  "CMakeFiles/bgq_model.dir/namd_model.cpp.o.d"
+  "CMakeFiles/bgq_model.dir/params.cpp.o"
+  "CMakeFiles/bgq_model.dir/params.cpp.o.d"
+  "libbgq_model.a"
+  "libbgq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_net.dir/fabric.cpp.o"
+  "CMakeFiles/bgq_net.dir/fabric.cpp.o.d"
+  "libbgq_net.a"
+  "libbgq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

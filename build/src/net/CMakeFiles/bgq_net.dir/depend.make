@@ -1,0 +1,2 @@
+# Empty dependencies file for bgq_net.
+# This may be replaced when dependencies are built.

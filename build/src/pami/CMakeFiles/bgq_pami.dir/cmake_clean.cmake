@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_pami.dir/comm_thread.cpp.o"
+  "CMakeFiles/bgq_pami.dir/comm_thread.cpp.o.d"
+  "CMakeFiles/bgq_pami.dir/pami.cpp.o"
+  "CMakeFiles/bgq_pami.dir/pami.cpp.o.d"
+  "libbgq_pami.a"
+  "libbgq_pami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_pami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

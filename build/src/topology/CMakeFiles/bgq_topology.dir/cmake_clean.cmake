@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_topology.dir/placement.cpp.o"
+  "CMakeFiles/bgq_topology.dir/placement.cpp.o.d"
+  "CMakeFiles/bgq_topology.dir/torus.cpp.o"
+  "CMakeFiles/bgq_topology.dir/torus.cpp.o.d"
+  "libbgq_topology.a"
+  "libbgq_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

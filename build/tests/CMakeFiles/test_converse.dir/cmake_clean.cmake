@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_converse.dir/test_converse.cpp.o"
+  "CMakeFiles/test_converse.dir/test_converse.cpp.o.d"
+  "test_converse"
+  "test_converse.pdb"
+  "test_converse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_converse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

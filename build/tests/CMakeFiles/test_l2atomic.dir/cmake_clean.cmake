@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2atomic.dir/test_l2atomic.cpp.o"
+  "CMakeFiles/test_l2atomic.dir/test_l2atomic.cpp.o.d"
+  "test_l2atomic"
+  "test_l2atomic.pdb"
+  "test_l2atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

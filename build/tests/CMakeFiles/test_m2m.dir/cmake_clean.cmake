@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_m2m.dir/test_m2m.cpp.o"
+  "CMakeFiles/test_m2m.dir/test_m2m.cpp.o.d"
+  "test_m2m"
+  "test_m2m.pdb"
+  "test_m2m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_m2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pami.dir/test_pami.cpp.o"
+  "CMakeFiles/test_pami.dir/test_pami.cpp.o.d"
+  "test_pami"
+  "test_pami.pdb"
+  "test_pami[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_l2atomic[1]_include.cmake")
+include("/root/repo/build/tests/test_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_wakeup[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_pami[1]_include.cmake")
+include("/root/repo/build/tests/test_converse[1]_include.cmake")
+include("/root/repo/build/tests/test_m2m[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_md[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_md[1]_include.cmake")
+include("/root/repo/build/tests/test_charm[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_model[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_more[1]_include.cmake")
