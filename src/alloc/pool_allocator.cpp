@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/cacheline.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::alloc {
 
@@ -85,8 +86,10 @@ void* PoolAllocator::allocate(ThreadId tid, std::size_t bytes) {
   if (cls < kNumSizeClasses) {
     // Lockless dequeue from this thread's own pool (we are the single
     // consumer of our own pools).
+    BGQ_SCHED_POINT("alloc.pool.poll");
     if (void* user = mine.pools[cls].try_dequeue()) {
       auto* h = header_of(user);
+      BGQ_SCHED_POINT("alloc.pool.hit");
       h->magic = kLiveMagic;
       h->owner = tid;  // ownership is stable, but keep the header honest
       mine.pool_hits.fetch_add(1, std::memory_order_relaxed);
@@ -121,6 +124,7 @@ void PoolAllocator::deallocate(ThreadId tid, void* p) {
   // free to the heap.  Mark the buffer free *before* publishing it so a
   // double free is caught whether the buffer is pooled or re-issued.
   h->magic = kFreeMagic;
+  BGQ_SCHED_POINT("alloc.free.marked");
   ThreadPools& owner = *pools_[h->owner];
   if (!owner.pools[h->size_class].try_enqueue(p)) {
     raw_delete(h);

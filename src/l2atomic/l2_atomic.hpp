@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "common/cacheline.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::l2 {
 
@@ -139,14 +140,17 @@ class alignas(kL2Line) BoundedCounter {
   std::uint64_t bounded_increment() noexcept {
     std::uint64_t cur = counter_.load(std::memory_order_relaxed);
     for (;;) {
+      BGQ_SCHED_POINT("l2.bounded_increment.loaded");
       if (cur >= bound_.load(std::memory_order_acquire)) {
         // Bound may have been raised between our read of counter and bound;
         // one more counter re-read keeps the failure check precise.
+        BGQ_SCHED_POINT("l2.bounded_increment.recheck");
         cur = counter_.load(std::memory_order_acquire);
         if (cur >= bound_.load(std::memory_order_acquire)) {
           return kBoundedFailure;
         }
       }
+      BGQ_SCHED_POINT("l2.bounded_increment.cas");
       if (counter_.compare_exchange(cur, cur + 1)) return cur;
       // cur was refreshed by compare_exchange; loop.
     }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "verify/schedule_point.hpp"
+
 namespace bgq::pami {
 
 CommThreadPool::CommThreadPool(std::vector<Context*> contexts,
@@ -52,6 +54,7 @@ void CommThreadPool::run(unsigned tid) {
   }
 
   while (!stop_.load(std::memory_order_acquire)) {
+    BGQ_SCHED_POINT("comm.poll.sweep");
     std::size_t events = 0;
     for (Context* c : mine) events += c->advance();
     sweeps_.fetch_add(1, std::memory_order_relaxed);
@@ -61,6 +64,7 @@ void CommThreadPool::run(unsigned tid) {
     // prepare/re-check/commit dance closes the race against a packet that
     // arrives between the last poll and the park.
     const auto seen = gate.prepare_wait();
+    BGQ_SCHED_POINT("comm.park.recheck");
     bool pending = stop_.load(std::memory_order_acquire);
     for (Context* c : mine) pending = pending || c->has_pending();
     if (pending) {

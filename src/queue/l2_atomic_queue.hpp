@@ -26,6 +26,7 @@
 
 #include "common/cacheline.hpp"
 #include "l2atomic/l2_atomic.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::queue {
 
@@ -57,11 +58,15 @@ class L2AtomicQueue {
   bool enqueue(T msg) {
     const std::uint64_t ticket = counters_.bounded_increment();
     if (ticket != l2::kBoundedFailure) {
+      BGQ_SCHED_POINT("queue.enqueue.claimed");
       slots_[ticket & mask_].store(msg, std::memory_order_release);
       return true;
     }
+    BGQ_SCHED_POINT("queue.enqueue.spill");
     {
-      std::lock_guard<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_END();
       overflow_.push_back(msg);
     }
     overflow_size_.fetch_add(1, std::memory_order_release);
@@ -75,6 +80,7 @@ class L2AtomicQueue {
   bool try_enqueue(T msg) {
     const std::uint64_t ticket = counters_.bounded_increment();
     if (ticket == l2::kBoundedFailure) return false;
+    BGQ_SCHED_POINT("queue.try_enqueue.claimed");
     slots_[ticket & mask_].store(msg, std::memory_order_release);
     return true;
   }
@@ -83,9 +89,11 @@ class L2AtomicQueue {
   T try_dequeue() {
     const std::size_t slot = consumer_count_ & mask_;
     T msg = slots_[slot].load(std::memory_order_acquire);
+    BGQ_SCHED_POINT("queue.dequeue.loaded");
     if (msg != nullptr) {
       slots_[slot].store(nullptr, std::memory_order_relaxed);
       ++consumer_count_;
+      BGQ_SCHED_POINT("queue.dequeue.cleared");
       counters_.advance_bound(1);
       return msg;
     }
@@ -93,7 +101,9 @@ class L2AtomicQueue {
     // the caller re-polls either way).  Only now may the overflow queue be
     // touched, and only if the size hint says it is non-empty.
     if (overflow_size_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_END();
       if (!overflow_.empty()) {
         T m = overflow_.front();
         overflow_.pop_front();

@@ -22,6 +22,7 @@
 
 #include "common/cacheline.hpp"
 #include "l2atomic/l2_atomic.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::queue {
 
@@ -53,7 +54,9 @@ class OrderedL2Queue {
     // Charm++'s unordered L2AtomicQueue avoids.
     std::uint64_t ticket;
     {
-      std::lock_guard<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_END();
       if (!overflow_.empty()) {
         overflow_.push_back(msg);
         overflow_size_.fetch_add(1, std::memory_order_release);
@@ -66,6 +69,7 @@ class OrderedL2Queue {
         return false;
       }
     }
+    BGQ_SCHED_POINT("oqueue.enqueue.claimed");
     slots_[ticket & mask_].store(msg, std::memory_order_release);
     return true;
   }
@@ -73,13 +77,16 @@ class OrderedL2Queue {
   T try_dequeue() {
     const std::size_t slot = consumer_count_ & mask_;
     T msg = slots_[slot].load(std::memory_order_acquire);
+    BGQ_SCHED_POINT("oqueue.dequeue.loaded");
     if (msg != nullptr) {
       slots_[slot].store(nullptr, std::memory_order_relaxed);
       ++consumer_count_;
       // The MPI-semantics cost: the bound may only be raised while holding
       // the overflow lock, so a producer serialized behind overflow cannot
       // slip into a freshly-opened ring slot ahead of older messages.
-      std::lock_guard<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_END();
       counters_.advance_bound(1);
       return msg;
     }
@@ -91,7 +98,9 @@ class OrderedL2Queue {
     // while the overflow read sees its newer spill), so the emptiness
     // check happens under the same lock producers claim tickets under.
     if (overflow_size_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(overflow_mutex_);
+      BGQ_SCHED_BLOCK_END();
       if (counters_.counter() != consumer_count_) return nullptr;
       if (!overflow_.empty()) {
         T m = overflow_.front();

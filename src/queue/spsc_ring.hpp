@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::queue {
 
@@ -33,9 +34,13 @@ class SpscRing {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ >= size_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
-      if (head - cached_tail_ >= size_) return false;
+      if (head - cached_tail_ >= size_) {
+        BGQ_SCHED_POINT("spsc.enqueue.full");
+        return false;
+      }
     }
     slots_[head & mask_] = std::move(v);
+    BGQ_SCHED_POINT("spsc.enqueue.stored");
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -45,9 +50,13 @@ class SpscRing {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == cached_head_) {
       cached_head_ = head_.load(std::memory_order_acquire);
-      if (tail == cached_head_) return std::nullopt;
+      if (tail == cached_head_) {
+        BGQ_SCHED_POINT("spsc.dequeue.empty");
+        return std::nullopt;
+      }
     }
     T v = std::move(slots_[tail & mask_]);
+    BGQ_SCHED_POINT("spsc.dequeue.moved");
     tail_.store(tail + 1, std::memory_order_release);
     return v;
   }

@@ -1,0 +1,143 @@
+// Concurrent operation-history recorder for the linearizability checker.
+//
+// Each thread records its operations as invocation/response interval events
+// stamped from one global logical clock (a single fetch_add counter, so the
+// stamp order is consistent with real time).  The recorder is append-only
+// and wait-free so it does not introduce synchronization that would mask
+// the races the harness is hunting: begin() and end() each cost two
+// fetch_adds on independent cache lines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgq::verify {
+
+enum class OpKind : std::uint8_t {
+  kEnqueue,       ///< value = message id
+  kDequeue,       ///< result = message id returned
+  kDequeueEmpty,  ///< dequeue that returned "empty"
+  kAlloc,         ///< result = buffer id handed out
+  kAllocFail,     ///< allocation that reported exhaustion
+  kFree,          ///< value = buffer id returned to the allocator
+  kWake,          ///< gate wake(); advances the epoch
+  kPrepare,       ///< prepare_wait(); result = epoch snapshot returned
+  kCommit,        ///< commit_wait(seen); value = seen
+  kCancel,        ///< cancel_wait()
+};
+
+inline const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kEnqueue: return "enqueue";
+    case OpKind::kDequeue: return "dequeue";
+    case OpKind::kDequeueEmpty: return "dequeue-empty";
+    case OpKind::kAlloc: return "alloc";
+    case OpKind::kAllocFail: return "alloc-fail";
+    case OpKind::kFree: return "free";
+    case OpKind::kWake: return "wake";
+    case OpKind::kPrepare: return "prepare";
+    case OpKind::kCommit: return "commit";
+    case OpKind::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+struct Op {
+  OpKind kind{};
+  int thread = -1;
+  std::uint64_t value = 0;   ///< argument (enqueue payload, commit's seen…)
+  std::uint64_t result = 0;  ///< response value (dequeue payload, epoch…)
+  std::uint64_t inv = 0;     ///< invocation stamp
+  std::uint64_t res = 0;     ///< response stamp
+};
+
+inline std::string format_op(const Op& op) {
+  std::string s = "t";
+  s += std::to_string(op.thread);
+  s += ' ';
+  s += op_name(op.kind);
+  s += "(v=";
+  s += std::to_string(op.value);
+  s += ", r=";
+  s += std::to_string(op.result);
+  s += ") @[";
+  s += std::to_string(op.inv);
+  s += ',';
+  s += std::to_string(op.res);
+  s += ']';
+  return s;
+}
+
+/// Fixed-capacity wait-free history.  One instance per schedule run; the
+/// driver snapshots ops() only after every recording thread has joined.
+class History {
+ public:
+  explicit History(std::size_t capacity = 4096) : ops_(capacity) {}
+
+  using Handle = std::size_t;
+  static constexpr Handle kNoHandle = ~std::size_t{0};
+
+  /// Record an invocation.  Returns a handle to close with end().
+  Handle begin(int thread, OpKind kind, std::uint64_t value = 0) {
+    const Handle h = next_.fetch_add(1, std::memory_order_relaxed);
+    if (h >= ops_.size()) {
+      overflowed_.store(true, std::memory_order_relaxed);
+      return kNoHandle;
+    }
+    Op& op = ops_[h];
+    op.kind = kind;
+    op.thread = thread;
+    op.value = value;
+    op.inv = clock_.fetch_add(1, std::memory_order_acq_rel);
+    return h;
+  }
+
+  /// Record the response.  `kind` may refine the invocation's kind (e.g. a
+  /// dequeue that found nothing closes as kDequeueEmpty).
+  void end(Handle h, std::uint64_t result = 0) {
+    if (h == kNoHandle) return;
+    Op& op = ops_[h];
+    op.result = result;
+    op.res = clock_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void end(Handle h, OpKind refined, std::uint64_t result = 0) {
+    if (h == kNoHandle) return;
+    ops_[h].kind = refined;
+    end(h, result);
+  }
+
+  /// Convenience: a complete (non-interval-interesting) operation.
+  void record(int thread, OpKind kind, std::uint64_t value = 0,
+              std::uint64_t result = 0) {
+    end(begin(thread, kind, value), result);
+  }
+
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of all *completed* ops (an op begun but never ended — e.g. a
+  /// consumer poll abandoned at its attempt cap — is dropped: keeping it
+  /// would assert an effect that never happened).  Quiescent callers only.
+  std::vector<Op> ops() const {
+    const std::size_t n =
+        std::min(next_.load(std::memory_order_acquire), ops_.size());
+    std::vector<Op> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ops_[i].res != 0) out.push_back(ops_[i]);  // clock starts at 1
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Op> ops_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> clock_{1};
+  std::atomic<bool> overflowed_{false};
+};
+
+}  // namespace bgq::verify

@@ -1,0 +1,82 @@
+// Yield-point injection hooks for the concurrency-correctness harness.
+//
+// The lockless runtime core (l2atomic, queue, alloc, wakeup, comm threads)
+// marks its racy windows with BGQ_SCHED_POINT("tag").  In normal builds the
+// macro compiles to nothing — the hot paths are untouched.  Translation
+// units compiled with -DBGQ_SCHEDULE_POINTS=1 (the tests/harness targets)
+// expand the macro into a call through a process-global hook, which the
+// schedule fuzzer (src/verify/scheduler.hpp) installs to serialize threads
+// and drive chosen interleavings deterministically.
+//
+// Blocking primitives (mutex acquisitions, condvar waits) inside
+// instrumented code must be bracketed with BGQ_SCHED_BLOCK_BEGIN/END so the
+// cooperative scheduler knows the thread may stop making progress for
+// reasons it does not control; a thread must never wait for the scheduler
+// token while holding a lock.  The canonical pattern is:
+//
+//   BGQ_SCHED_BLOCK_BEGIN();
+//   {
+//     std::lock_guard<std::mutex> g(m);
+//     ... critical section, no schedule points ...
+//   }
+//   BGQ_SCHED_BLOCK_END();
+#pragma once
+
+#include <atomic>
+
+namespace bgq::verify {
+
+/// Interface the schedule fuzzer implements.  Kept abstract so this header
+/// stays dependency-free for the core runtime headers that include it.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+
+  /// A registered thread reached an instrumented racy window.
+  virtual void on_point(const char* tag) noexcept = 0;
+
+  /// The calling thread is about to block on an OS primitive.
+  virtual void on_block_begin() noexcept = 0;
+
+  /// The calling thread finished the blocking section.
+  virtual void on_block_end() noexcept = 0;
+};
+
+namespace detail {
+inline std::atomic<SchedulerHook*> g_hook{nullptr};
+}  // namespace detail
+
+/// Install `h` as the process-wide hook (nullptr to uninstall).  Returns
+/// the previous hook.  Only the harness driver thread calls this, around a
+/// fully-joined set of worker threads.
+inline SchedulerHook* install_hook(SchedulerHook* h) noexcept {
+  return detail::g_hook.exchange(h, std::memory_order_acq_rel);
+}
+
+inline SchedulerHook* current_hook() noexcept {
+  return detail::g_hook.load(std::memory_order_acquire);
+}
+
+inline void schedule_point(const char* tag) noexcept {
+  if (SchedulerHook* h = current_hook()) h->on_point(tag);
+}
+
+inline void block_begin() noexcept {
+  if (SchedulerHook* h = current_hook()) h->on_block_begin();
+}
+
+inline void block_end() noexcept {
+  if (SchedulerHook* h = current_hook()) h->on_block_end();
+}
+
+}  // namespace bgq::verify
+
+#if defined(BGQ_SCHEDULE_POINTS)
+#define BGQ_SCHED_POINT(tag) ::bgq::verify::schedule_point(tag)
+#define BGQ_SCHED_BLOCK_BEGIN() ::bgq::verify::block_begin()
+#define BGQ_SCHED_BLOCK_END() ::bgq::verify::block_end()
+#else
+#define BGQ_SCHED_POINT(tag) ((void)0)
+#define BGQ_SCHED_BLOCK_BEGIN() ((void)0)
+#define BGQ_SCHED_BLOCK_END() ((void)0)
+#endif

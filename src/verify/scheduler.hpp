@@ -1,0 +1,323 @@
+// Cooperative schedule fuzzer for the lockless runtime core.
+//
+// Worker threads under test register with a FuzzScheduler; exactly one
+// registered thread runs at a time (the token holder) and control changes
+// hands only at the BGQ_SCHED_POINT markers compiled into the l2atomic /
+// queue / alloc / wakeup hot paths.  At every point with more than one
+// runnable thread the scheduler makes a *decision* — from a seeded RNG, or
+// replayed from a recorded trace — so an interleaving is reproduced by
+// re-running with the same seed (or the exact decision vector, printed on
+// failure).
+//
+// Threads about to block on an OS primitive bracket the blocking call with
+// on_block_begin/on_block_end (see schedule_point.hpp for the two idioms:
+// mutex acquires re-take the token once the lock is held; condvar sleeps
+// stay token-free for the whole wait).  When every live thread is blocked
+// the token parks at kIdleToken and the first thread to unblock claims it;
+// if nothing can unblock, the driver-side watchdog (harness_util) detects
+// the deadlock and rescues the run.
+//
+// exhaust_schedules() systematically enumerates every decision vector up to
+// a bound — the "exhaustive small-bound interleavings" mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "verify/schedule_point.hpp"
+
+namespace bgq::verify {
+
+/// Decision trace of one schedule: the choice made at each decision point
+/// and how many candidates were available (the branching arity).  Only
+/// points with arity > 1 consume a decision.
+struct ScheduleTrace {
+  std::vector<std::uint8_t> choices;
+  std::vector<std::uint8_t> arity;
+  std::uint64_t points = 0;    ///< schedule points hit (all, arity-1 too)
+  bool truncated = false;      ///< hit max_points and went free-run
+};
+
+class FuzzScheduler final : public SchedulerHook {
+ public:
+  static constexpr int kMaxThreads = 16;
+
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Forced decision prefix; decisions beyond it fall back to the seeded
+    /// RNG (or to candidate 0 when deterministic_fallback is set, as the
+    /// exhaustive driver requires).
+    const std::vector<std::uint8_t>* replay = nullptr;
+    bool deterministic_fallback = false;
+    /// Runaway guard: after this many schedule points the scheduler stops
+    /// serializing and lets all threads run free so the test can finish.
+    std::uint64_t max_points = 200000;
+    /// Decisions recorded into the trace (enumeration depth bound).
+    std::size_t max_recorded = 4096;
+  };
+
+  explicit FuzzScheduler(Options o) : opt_(o), rng_(o.seed) {
+    for (auto& s : state_) s.store(kEmpty, std::memory_order_relaxed);
+  }
+
+  FuzzScheduler(const FuzzScheduler&) = delete;
+  FuzzScheduler& operator=(const FuzzScheduler&) = delete;
+
+  /// Declare how many worker threads will attach.  Driver only.
+  void reserve(int nthreads) { expected_ = nthreads; }
+
+  /// Install as the process-wide schedule-point hook.  Driver only.
+  void install() { install_hook(this); }
+  void uninstall() { install_hook(nullptr); }
+
+  /// Driver: wait for all reserved threads to attach, then hand the token
+  /// to the first scheduling choice.  Worker threads park in attach until
+  /// this runs.
+  void start() {
+    while (attached_.load(std::memory_order_acquire) < expected_) {
+      std::this_thread::yield();
+    }
+    grant_first();
+  }
+
+  /// RAII registration run at the top of each worker thread body.
+  class ThreadGuard {
+   public:
+    ThreadGuard(FuzzScheduler& s, int slot) : s_(s), slot_(slot) {
+      s_.attach(slot);
+    }
+    ~ThreadGuard() { s_.detach(slot_); }
+    ThreadGuard(const ThreadGuard&) = delete;
+    ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+   private:
+    FuzzScheduler& s_;
+    int slot_;
+  };
+
+  // ---- SchedulerHook ----------------------------------------------------
+
+  void on_point(const char* /*tag*/) noexcept override {
+    const int slot = tls_slot();
+    if (slot < 0 || free_run()) return;
+    points_.fetch_add(1, std::memory_order_relaxed);
+    if (points_.load(std::memory_order_relaxed) > opt_.max_points) {
+      enter_free_run(/*truncated=*/true);
+      return;
+    }
+    int next;
+    {
+      SpinGuard g(lock_);
+      next = pick_locked(slot, /*include_self=*/true);
+    }
+    if (next == slot || next < 0) return;
+    active_.store(next, std::memory_order_release);
+    wait_for_token(slot);
+  }
+
+  void on_block_begin() noexcept override {
+    const int slot = tls_slot();
+    if (slot < 0 || free_run()) return;
+    int next;
+    {
+      SpinGuard g(lock_);
+      state_[slot].store(kBlocked, std::memory_order_relaxed);
+      next = pick_locked(slot, /*include_self=*/false);
+    }
+    active_.store(next >= 0 ? next : kIdleToken, std::memory_order_release);
+  }
+
+  void on_block_end() noexcept override {
+    const int slot = tls_slot();
+    if (slot < 0) return;
+    {
+      SpinGuard g(lock_);
+      state_[slot].store(kRunnable, std::memory_order_relaxed);
+    }
+    if (free_run()) return;
+    // Wait until a token holder schedules us, or claim the parked token.
+    for (;;) {
+      int a = active_.load(std::memory_order_acquire);
+      if (a == slot || a == kFreeToken) return;
+      if (a == kIdleToken &&
+          active_.compare_exchange_weak(a, slot,
+                                        std::memory_order_acq_rel)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // ---- results ----------------------------------------------------------
+
+  /// Stop serializing; every thread runs free.  Used by the watchdog to
+  /// un-wedge a deadlocked mutant run.
+  void enter_free_run(bool truncated = false) noexcept {
+    if (truncated) truncated_.store(true, std::memory_order_relaxed);
+    active_.store(kFreeToken, std::memory_order_release);
+  }
+
+  bool deadlock_suspected() const noexcept {
+    return active_.load(std::memory_order_acquire) == kIdleToken;
+  }
+
+  ScheduleTrace trace() const {
+    ScheduleTrace t;
+    t.choices = choices_;
+    t.arity = arity_;
+    t.points = points_.load(std::memory_order_relaxed);
+    t.truncated = truncated_.load(std::memory_order_relaxed);
+    return t;
+  }
+
+ private:
+  enum : int { kNoToken = -1, kFreeToken = -2, kIdleToken = -3 };
+  enum : std::uint8_t { kEmpty, kRunnable, kBlocked, kDone };
+
+  // A tiny spinlock: the critical sections are a few loads/stores, and a
+  // std::mutex here could park the token holder behind an unrelated OS
+  // decision, perturbing replay.
+  struct SpinGuard {
+    explicit SpinGuard(std::atomic_flag& f) : f_(f) {
+      while (f_.test_and_set(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    ~SpinGuard() { f_.clear(std::memory_order_release); }
+    std::atomic_flag& f_;
+  };
+
+  static int& tls_slot_ref() {
+    static thread_local int slot = -1;
+    return slot;
+  }
+  static int tls_slot() { return tls_slot_ref(); }
+
+  bool free_run() const noexcept {
+    return active_.load(std::memory_order_acquire) == kFreeToken;
+  }
+
+  void attach(int slot) {
+    tls_slot_ref() = slot;
+    {
+      SpinGuard g(lock_);
+      state_[slot].store(kRunnable, std::memory_order_relaxed);
+    }
+    attached_.fetch_add(1, std::memory_order_release);
+    wait_for_token(slot);
+  }
+
+  void detach(int slot) {
+    if (free_run()) {
+      SpinGuard g(lock_);
+      state_[slot].store(kDone, std::memory_order_relaxed);
+      tls_slot_ref() = -1;
+      return;
+    }
+    int next;
+    {
+      SpinGuard g(lock_);
+      state_[slot].store(kDone, std::memory_order_relaxed);
+      next = pick_locked(slot, /*include_self=*/false);
+    }
+    active_.store(next >= 0 ? next : kIdleToken, std::memory_order_release);
+    tls_slot_ref() = -1;
+  }
+
+  void grant_first() {
+    int next;
+    {
+      SpinGuard g(lock_);
+      next = pick_locked(/*self=*/-1, /*include_self=*/false);
+    }
+    active_.store(next >= 0 ? next : kIdleToken, std::memory_order_release);
+  }
+
+  void wait_for_token(int slot) {
+    for (;;) {
+      const int a = active_.load(std::memory_order_acquire);
+      if (a == slot || a == kFreeToken) return;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Pick the next thread to run among runnable slots.  Called under
+  /// lock_.  Returns -1 when nothing is runnable.
+  int pick_locked(int self, bool include_self) {
+    int candidates[kMaxThreads];
+    int k = 0;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      if (state_[i].load(std::memory_order_relaxed) != kRunnable) continue;
+      if (i == self && !include_self) continue;
+      candidates[k++] = i;
+    }
+    if (k == 0) return -1;
+    if (k == 1) return candidates[0];  // arity-1: not a decision
+    std::uint32_t c;
+    const std::size_t d = decision_count_++;
+    if (opt_.replay && d < opt_.replay->size()) {
+      c = (*opt_.replay)[d];
+      if (c >= static_cast<std::uint32_t>(k)) c = k - 1;  // defensive clamp
+    } else if (opt_.deterministic_fallback) {
+      c = 0;
+    } else {
+      c = static_cast<std::uint32_t>(rng_.below(k));
+    }
+    if (choices_.size() < opt_.max_recorded) {
+      choices_.push_back(static_cast<std::uint8_t>(c));
+      arity_.push_back(static_cast<std::uint8_t>(k));
+    }
+    return candidates[c];
+  }
+
+  const Options opt_;
+  Xoshiro256 rng_;
+
+  int expected_ = 0;
+  std::atomic<int> attached_{0};
+  std::atomic<int> active_{kNoToken};
+  std::atomic<std::uint64_t> points_{0};
+  std::atomic<bool> truncated_{false};
+
+  std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::atomic<std::uint8_t> state_[kMaxThreads];
+
+  // Decision log; mutated only under lock_.
+  std::size_t decision_count_ = 0;
+  std::vector<std::uint8_t> choices_;
+  std::vector<std::uint8_t> arity_;
+};
+
+/// Systematically enumerate every schedule whose decision vector (at the
+/// points the scheduler actually branched) has length <= max_decisions.
+///
+/// `run_one` receives the forced decision prefix, must execute one full
+/// schedule with a FuzzScheduler configured with {replay = &prefix,
+/// deterministic_fallback = true}, and return the resulting trace.  The
+/// enumeration walks the decision tree depth-first by bumping the deepest
+/// advanceable choice, exactly like a stateless model checker.  Returns
+/// the number of schedules executed.
+template <typename RunFn>
+std::uint64_t exhaust_schedules(int max_decisions, std::uint64_t max_runs,
+                                RunFn run_one) {
+  std::vector<std::uint8_t> prefix;
+  std::uint64_t runs = 0;
+  for (;;) {
+    ScheduleTrace t = run_one(static_cast<const std::vector<std::uint8_t>&>(prefix));
+    ++runs;
+    if (runs >= max_runs) break;
+    int limit = static_cast<int>(t.choices.size());
+    if (limit > max_decisions) limit = max_decisions;
+    int i = limit - 1;
+    while (i >= 0 && t.choices[i] + 1 >= t.arity[i]) --i;
+    if (i < 0) break;
+    prefix.assign(t.choices.begin(), t.choices.begin() + i);
+    prefix.push_back(static_cast<std::uint8_t>(t.choices[i] + 1));
+  }
+  return runs;
+}
+
+}  // namespace bgq::verify

@@ -24,6 +24,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/spin.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::wakeup {
 
@@ -39,6 +40,7 @@ class alignas(kL2Line) WaitGate {
   /// process it instead of sleeping.
   std::uint64_t prepare_wait() noexcept {
     waiters_.fetch_add(1, std::memory_order_seq_cst);
+    BGQ_SCHED_POINT("gate.prepare.announced");
     return epoch_.load(std::memory_order_seq_cst);
   }
 
@@ -52,16 +54,21 @@ class alignas(kL2Line) WaitGate {
   /// fast-resume path.
   void commit_wait(std::uint64_t seen) {
     for (int spin = 0; spin < kSpinProbes; ++spin) {
+      BGQ_SCHED_POINT("gate.commit.probe");
       if (epoch_.load(std::memory_order_acquire) != seen) {
         cancel_wait();
         return;
       }
       l2_paced_delay();
     }
-    std::unique_lock<std::mutex> lk(mutex_);
-    cv_.wait(lk, [&] {
-      return epoch_.load(std::memory_order_acquire) != seen;
-    });
+    BGQ_SCHED_BLOCK_BEGIN();
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    BGQ_SCHED_BLOCK_END();
     waiters_.fetch_sub(1, std::memory_order_release);
   }
 
@@ -70,11 +77,14 @@ class alignas(kL2Line) WaitGate {
   /// nobody is waiting (one atomic load).
   void wake() noexcept {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
+    BGQ_SCHED_POINT("gate.wake.bumped");
     if (waiters_.load(std::memory_order_seq_cst) == 0) return;
     {
       // Empty critical section pairs the epoch bump with the cv wait so a
       // waiter cannot slip between its predicate check and its sleep.
-      std::lock_guard<std::mutex> g(mutex_);
+      BGQ_SCHED_BLOCK_BEGIN();
+      std::unique_lock<std::mutex> g(mutex_);
+      BGQ_SCHED_BLOCK_END();
     }
     cv_.notify_all();
     wakeups_.fetch_add(1, std::memory_order_relaxed);
@@ -91,7 +101,13 @@ class alignas(kL2Line) WaitGate {
   }
 
  private:
+#if defined(BGQ_SCHEDULE_POINTS)
+  // Under the schedule fuzzer each probe is a scheduling decision; a long
+  // spin phase would only pad the decision tree with no-ops.
+  static constexpr int kSpinProbes = 2;
+#else
   static constexpr int kSpinProbes = 64;
+#endif
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint32_t> waiters_{0};

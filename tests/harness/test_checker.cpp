@@ -1,0 +1,214 @@
+// Unit tests for the linearizability checker itself, on hand-written
+// histories: known-good histories must pass, known-bad ones must be
+// rejected, for each sequential spec the harness uses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "verify/history.hpp"
+#include "verify/linearize.hpp"
+
+namespace {
+
+using bgq::verify::AllocSpec;
+using bgq::verify::BagQueueSpec;
+using bgq::verify::check_linearizable;
+using bgq::verify::FifoQueueSpec;
+using bgq::verify::GateSpec;
+using bgq::verify::History;
+using bgq::verify::LinVerdict;
+using bgq::verify::Op;
+using bgq::verify::OpKind;
+
+/// Build an op with explicit interval stamps.
+Op op(int thread, OpKind k, std::uint64_t value, std::uint64_t result,
+      std::uint64_t inv, std::uint64_t res) {
+  Op o;
+  o.thread = thread;
+  o.kind = k;
+  o.value = value;
+  o.result = result;
+  o.inv = inv;
+  o.res = res;
+  return o;
+}
+
+TEST(Checker, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>({}).ok());
+}
+
+TEST(Checker, SequentialEnqueueDequeueOk) {
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 7, 0, 1, 2),
+      op(0, OpKind::kDequeue, 0, 7, 3, 4),
+      op(0, OpKind::kDequeueEmpty, 0, 0, 5, 6),
+  };
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>(h).ok());
+}
+
+TEST(Checker, DequeueOfNeverEnqueuedValueRejected) {
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 7, 0, 1, 2),
+      op(0, OpKind::kDequeue, 0, 9, 3, 4),
+  };
+  const auto r = check_linearizable<BagQueueSpec>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(Checker, DuplicateDeliveryRejected) {
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 7, 0, 1, 2),
+      op(1, OpKind::kDequeue, 0, 7, 3, 4),
+      op(1, OpKind::kDequeue, 0, 7, 5, 6),
+  };
+  EXPECT_EQ(check_linearizable<BagQueueSpec>(h).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(Checker, LostMessageConvictedByFinalEmptyProbe) {
+  // enqueue completed, nothing ever dequeued it, and a later empty probe
+  // (non-overlapping) found nothing: the message was lost.
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 7, 0, 1, 2),
+      op(1, OpKind::kDequeueEmpty, 0, 0, 3, 4),
+  };
+  EXPECT_EQ(check_linearizable<BagQueueSpec>(h).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(Checker, EmptyProbeOverlappingEnqueueIsLegal) {
+  // The probe's interval overlaps the enqueue: it may linearize first.
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 7, 0, 2, 5),
+      op(1, OpKind::kDequeueEmpty, 0, 0, 1, 3),
+      op(1, OpKind::kDequeue, 0, 7, 6, 7),
+  };
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>(h).ok());
+}
+
+TEST(Checker, ConcurrentEnqueuesAnyDequeueOrderLegalInBag) {
+  // Two overlapping enqueues from different threads: the bag spec allows
+  // the consumer to see them in either order.
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 1, 0, 1, 4),
+      op(1, OpKind::kEnqueue, 2, 0, 2, 5),
+      op(2, OpKind::kDequeue, 0, 2, 6, 7),
+      op(2, OpKind::kDequeue, 0, 1, 8, 9),
+  };
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>(h).ok());
+}
+
+TEST(Checker, BagAllowsWhatFifoRejects) {
+  // Non-overlapping enqueues dequeued in reverse: legal for the Charm++
+  // unordered queue, a violation for the MPI-ordered spec.
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 1, 0, 1, 2),
+      op(0, OpKind::kEnqueue, 2, 0, 3, 4),
+      op(1, OpKind::kDequeue, 0, 2, 5, 6),
+      op(1, OpKind::kDequeue, 0, 1, 7, 8),
+  };
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>(h).ok());
+  EXPECT_EQ(check_linearizable<FifoQueueSpec>(h).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(Checker, FifoInOrderOk) {
+  std::vector<Op> h = {
+      op(0, OpKind::kEnqueue, 1, 0, 1, 2),
+      op(0, OpKind::kEnqueue, 2, 0, 3, 4),
+      op(1, OpKind::kDequeue, 0, 1, 5, 6),
+      op(1, OpKind::kDequeue, 0, 2, 7, 8),
+  };
+  EXPECT_TRUE(check_linearizable<FifoQueueSpec>(h).ok());
+}
+
+TEST(Checker, AllocDoubleIssueRejected) {
+  // Buffer 42 issued twice with no intervening free: the pool handed the
+  // same buffer to two callers.
+  std::vector<Op> h = {
+      op(0, OpKind::kAlloc, 0, 42, 1, 2),
+      op(1, OpKind::kAlloc, 0, 42, 3, 4),
+  };
+  EXPECT_EQ(check_linearizable<AllocSpec>(h).verdict, LinVerdict::kViolation);
+}
+
+TEST(Checker, AllocReuseAfterFreeOk) {
+  std::vector<Op> h = {
+      op(0, OpKind::kAlloc, 0, 42, 1, 2),
+      op(1, OpKind::kFree, 42, 0, 3, 4),
+      op(0, OpKind::kAlloc, 0, 42, 5, 6),
+      op(0, OpKind::kAllocFail, 0, 0, 7, 8),
+  };
+  EXPECT_TRUE(check_linearizable<AllocSpec>(h).ok());
+}
+
+TEST(Checker, DoubleFreeRejected) {
+  std::vector<Op> h = {
+      op(0, OpKind::kAlloc, 0, 42, 1, 2),
+      op(0, OpKind::kFree, 42, 0, 3, 4),
+      op(1, OpKind::kFree, 42, 0, 5, 6),
+  };
+  EXPECT_EQ(check_linearizable<AllocSpec>(h).verdict, LinVerdict::kViolation);
+}
+
+TEST(Checker, GateProperWakeCommitOk) {
+  // wake -> epoch 1; prepare snapshots 1; second wake -> 2; commit(1) is
+  // justified because the epoch advanced past the snapshot.
+  std::vector<Op> h = {
+      op(0, OpKind::kWake, 0, 0, 1, 2),
+      op(1, OpKind::kPrepare, 0, 1, 3, 4),
+      op(0, OpKind::kWake, 0, 0, 5, 6),
+      op(1, OpKind::kCommit, 1, 0, 7, 8),
+  };
+  EXPECT_TRUE(check_linearizable<GateSpec>(h).ok());
+}
+
+TEST(Checker, GateCommitWithoutJustifyingWakeRejected) {
+  // commit(1) returned but no wake after the prepare advanced the epoch:
+  // the gate resumed a thread that should still be parked.
+  std::vector<Op> h = {
+      op(0, OpKind::kWake, 0, 0, 1, 2),
+      op(1, OpKind::kPrepare, 0, 1, 3, 4),
+      op(1, OpKind::kCommit, 1, 0, 5, 6),
+  };
+  EXPECT_EQ(check_linearizable<GateSpec>(h).verdict, LinVerdict::kViolation);
+}
+
+TEST(Checker, GateCancelAlwaysLegal) {
+  std::vector<Op> h = {
+      op(1, OpKind::kPrepare, 0, 0, 1, 2),
+      op(1, OpKind::kCancel, 0, 0, 3, 4),
+  };
+  EXPECT_TRUE(check_linearizable<GateSpec>(h).ok());
+}
+
+TEST(Checker, OversizedHistoryReported) {
+  std::vector<Op> h;
+  for (int i = 0; i < 65; ++i) {
+    h.push_back(op(0, OpKind::kEnqueue, i + 1, 0, 2 * i + 1, 2 * i + 2));
+  }
+  EXPECT_EQ(check_linearizable<BagQueueSpec>(h).verdict,
+            LinVerdict::kTooLarge);
+}
+
+TEST(Checker, HistoryRecorderFiltersAbandonedOps) {
+  History h(16);
+  h.record(0, OpKind::kEnqueue, 1);
+  (void)h.begin(1, OpKind::kDequeue);  // never ended: must be dropped
+  h.record(1, OpKind::kDequeue, 0, 1);
+  const auto ops = h.ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(check_linearizable<BagQueueSpec>(ops).ok());
+}
+
+TEST(Checker, HistoryOverflowFlagged) {
+  History h(2);
+  h.record(0, OpKind::kEnqueue, 1);
+  h.record(0, OpKind::kEnqueue, 2);
+  EXPECT_FALSE(h.overflowed());
+  h.record(0, OpKind::kEnqueue, 3);
+  EXPECT_TRUE(h.overflowed());
+}
+
+}  // namespace

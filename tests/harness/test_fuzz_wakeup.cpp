@@ -1,0 +1,88 @@
+// Schedule-fuzzed tests of the wakeup gate (§II prepare/commit protocol).
+// The property under test is the one the two-phase protocol exists for: a
+// committed wait is always justified by a wake that advanced the epoch past
+// the prepare's snapshot, and no schedule can lose a wakeup (deadlock).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "harness_util.hpp"
+#include "test_seed.hpp"
+#include "verify/scheduler.hpp"
+#include "wakeup/wakeup_unit.hpp"
+
+namespace {
+
+using bgq::harness::fuzz_gate_once;
+using bgq::harness::GateFuzzConfig;
+using bgq::test_support::announce_seed;
+using bgq::test_support::harness_scale;
+using bgq::verify::exhaust_schedules;
+using bgq::wakeup::WaitGate;
+
+TEST(FuzzWakeup, WaitGatePassesFuzzedSchedules) {
+  const std::uint64_t base = announce_seed("FuzzWakeup.WaitGate", 0x6A7E);
+  const std::uint64_t n =
+      std::max<std::uint64_t>(2000 / harness_scale(), 10);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    GateFuzzConfig cfg;
+    cfg.rounds = 3;
+    cfg.waiters = 1;
+    cfg.seed = base + i;
+    const auto out = fuzz_gate_once<WaitGate>(cfg);
+    ASSERT_FALSE(out.run.deadlocked)
+        << "lost wakeup: " << bgq::harness::describe_run(cfg.seed, out.run);
+    ASSERT_TRUE(out.lin.ok())
+        << bgq::harness::describe_run(cfg.seed, out.run) << "\n"
+        << out.lin.message;
+  }
+}
+
+TEST(FuzzWakeup, TwoWaitersOneWakerNoLostWakeup) {
+  const std::uint64_t base = announce_seed("FuzzWakeup.TwoWaiters", 0x2A17);
+  const std::uint64_t n =
+      std::max<std::uint64_t>(1500 / harness_scale(), 10);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    GateFuzzConfig cfg;
+    cfg.rounds = 3;
+    cfg.waiters = 2;
+    cfg.waiter_cap = 12;  // keep the history inside the checker's op bound
+    cfg.seed = base + i;
+    const auto out = fuzz_gate_once<WaitGate>(cfg);
+    ASSERT_FALSE(out.run.deadlocked)
+        << "lost wakeup: " << bgq::harness::describe_run(cfg.seed, out.run);
+    ASSERT_TRUE(out.lin.ok())
+        << bgq::harness::describe_run(cfg.seed, out.run) << "\n"
+        << out.lin.message;
+  }
+}
+
+TEST(FuzzWakeup, ExhaustiveSmallBoundWaitGate) {
+  std::uint64_t violations = 0;
+  std::string first_bad;
+  const std::uint64_t runs = exhaust_schedules(
+      12, 30000, [&](const std::vector<std::uint8_t>& prefix) {
+        GateFuzzConfig cfg;
+        cfg.rounds = 2;
+        cfg.waiters = 1;
+        cfg.seed = 5;
+        cfg.replay = &prefix;
+        cfg.deterministic_fallback = true;
+        cfg.watchdog = std::chrono::milliseconds(3000);
+        const auto out = fuzz_gate_once<WaitGate>(cfg);
+        if (!out.lin.ok() || out.run.deadlocked) {
+          ++violations;
+          if (first_bad.empty()) {
+            first_bad = bgq::harness::describe_run(cfg.seed, out.run) + "\n" +
+                        out.lin.message;
+          }
+        }
+        return out.run.trace;
+      });
+  EXPECT_EQ(violations, 0u) << first_bad;
+  EXPECT_GT(runs, 50u);
+  std::fprintf(stderr, "[ EXHAUST  ] WaitGate: %llu schedules\n",
+               static_cast<unsigned long long>(runs));
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 #include "md/parallel_md.hpp"
 #include "md/pme_serial.hpp"
 #include "md/system.hpp"
+#include "test_seed.hpp"
 
 namespace {
 
@@ -35,7 +36,7 @@ MachineConfig machine_config(Mode mode = Mode::kSmp) {
 System test_system(double box = 20.0) {
   BuildOptions opt;
   opt.box = box;
-  opt.seed = 99;
+  opt.seed = bgq::test_support::seed_or(99);
   opt.with_bonds = true;
   return build_system(opt);
 }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "l2atomic/l2_atomic.hpp"
 #include "queue/l2_atomic_queue.hpp"
 #include "queue/mutex_queue.hpp"
 #include "queue/ordered_l2_queue.hpp"
@@ -83,6 +84,71 @@ TEST(L2AtomicQueue, TryEnqueueFailsWhenFullInsteadOfSpilling) {
   EXPECT_TRUE(q.try_enqueue(tag(1)));
   EXPECT_FALSE(q.try_enqueue(tag(2)));
   EXPECT_EQ(q.overflow_count(), 0u);
+}
+
+// --- direct overflow-path protocol coverage (§III-A, Fig. 2) ---------------
+
+TEST(L2AtomicQueue, BoundedIncrementReturnsAllOnesSentinelAtBound) {
+  // The failure protocol of the L2 bounded load-increment: once the counter
+  // reaches the bound every attempt returns 0xFFFF'FFFF'FFFF'FFFF, and
+  // raising the bound re-admits producers at the next ticket.
+  bgq::l2::BoundedCounter bc(2);
+  EXPECT_EQ(bc.bounded_increment(), 0u);
+  EXPECT_EQ(bc.bounded_increment(), 1u);
+  EXPECT_EQ(bc.bounded_increment(), bgq::l2::kBoundedFailure);
+  EXPECT_EQ(bc.bounded_increment(), bgq::l2::kBoundedFailure);
+  EXPECT_EQ(bc.bounded_increment(), 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_TRUE(bc.full());
+  bc.advance_bound(1);  // consumer drained one slot
+  EXPECT_EQ(bc.bounded_increment(), 2u);
+  EXPECT_EQ(bc.bounded_increment(), bgq::l2::kBoundedFailure);
+}
+
+TEST(L2AtomicQueue, FillToBoundThenSpillKeepsRingIntact) {
+  L2AtomicQueue<std::uint64_t*> q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(tag(i)));
+  EXPECT_EQ(q.ring_size(), 4u);
+  EXPECT_EQ(q.overflow_count(), 0u);
+  // At the bound: enqueue reports the slow path was taken and the ring is
+  // untouched.
+  EXPECT_FALSE(q.enqueue(tag(4)));
+  EXPECT_EQ(q.ring_size(), 4u);
+  EXPECT_EQ(q.overflow_count(), 1u);
+}
+
+TEST(L2AtomicQueue, DrainRaisesBoundAndReopensFastPath) {
+  L2AtomicQueue<std::uint64_t*> q(2);
+  EXPECT_TRUE(q.enqueue(tag(0)));
+  EXPECT_TRUE(q.enqueue(tag(1)));
+  EXPECT_FALSE(q.enqueue(tag(2)));  // spill
+  EXPECT_FALSE(q.enqueue(tag(3)));  // spill
+  // Each ring dequeue advances the bound by one, so the fast path reopens
+  // even while messages still sit in overflow (Charm++ needs no ordering).
+  EXPECT_EQ(untag(q.try_dequeue()), 0u);
+  EXPECT_TRUE(q.enqueue(tag(4))) << "drained slot must reopen the ring";
+  EXPECT_EQ(q.overflow_count(), 2u);
+
+  std::set<std::uint64_t> rest;
+  while (auto* p = q.try_dequeue()) rest.insert(untag(p));
+  EXPECT_EQ(rest, (std::set<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(L2AtomicQueue, RepeatedSpillDrainCyclesLoseNothing) {
+  // Push the ring through many full->spill->drain cycles; every message
+  // must come out exactly once whatever path it took.
+  L2AtomicQueue<std::uint64_t*> q(2);
+  std::set<std::uint64_t> seen;
+  std::uint64_t next = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 5; ++i) q.enqueue(tag(next++));  // 2 fast, 3 spill
+    while (auto* p = q.try_dequeue()) {
+      EXPECT_TRUE(seen.insert(untag(p)).second) << "duplicate delivery";
+    }
+  }
+  EXPECT_EQ(seen.size(), next);
+  EXPECT_EQ(q.overflow_count(), 0u);
+  EXPECT_TRUE(q.empty());
 }
 
 // Property: N producers x M messages, single consumer — every message is

@@ -1,0 +1,54 @@
+// Reproducible-seed support for randomized tests.
+//
+// Every randomized test derives its RNG seed through seed_or(): the
+// BGQ_TEST_SEED environment variable overrides the built-in default, and
+// the effective seed is printed on stderr so any failing run can be
+// replayed exactly:
+//
+//   BGQ_TEST_SEED=12345 ctest -R Stress --output-on-failure
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgq::test_support {
+
+/// The BGQ_TEST_SEED env override, or `fallback` when unset/unparsable.
+inline std::uint64_t seed_or(std::uint64_t fallback) {
+  if (const char* env = std::getenv("BGQ_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && end != nullptr && *end == '\0') {
+      return static_cast<std::uint64_t>(v);
+    }
+    std::fprintf(stderr,
+                 "[   SEED   ] ignoring unparsable BGQ_TEST_SEED=\"%s\"\n",
+                 env);
+  }
+  return fallback;
+}
+
+/// seed_or() plus a stderr log line naming the consuming test, so the seed
+/// of every randomized run appears in the log even on success.
+inline std::uint64_t announce_seed(const char* what, std::uint64_t fallback) {
+  const std::uint64_t s = seed_or(fallback);
+  std::fprintf(stderr,
+               "[   SEED   ] %s: seed=%llu (replay: BGQ_TEST_SEED=%llu)\n",
+               what, static_cast<unsigned long long>(s),
+               static_cast<unsigned long long>(s));
+  return s;
+}
+
+/// Scale factor for schedule-count-heavy harness tests: BGQ_HARNESS_SCALE
+/// divides the default schedule counts (sanitizer CI jobs set it to keep
+/// wall time bounded).  Returns at least 1.
+inline std::uint64_t harness_scale() {
+  if (const char* env = std::getenv("BGQ_HARNESS_SCALE")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 0);
+    if (v >= 1) return static_cast<std::uint64_t>(v);
+  }
+  return 1;
+}
+
+}  // namespace bgq::test_support

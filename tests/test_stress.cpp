@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "converse/machine.hpp"
 #include "m2m/manytomany.hpp"
+#include "test_seed.hpp"
 
 namespace {
 
@@ -70,8 +71,12 @@ TEST_P(RandomTraffic, RandomizedFuzzDeliversEverythingIntact) {
     if (received.fetch_add(1) + 1 == expected) pe.exit_all();
   });
 
+  // Per-PE streams derive from one logged base seed so a failure replays
+  // bit-for-bit with BGQ_TEST_SEED=<seed>.
+  const std::uint64_t base_seed =
+      bgq::test_support::announce_seed("Stress.RandomTraffic", 1000);
   machine.run([&](Pe& pe) {
-    bgq::Xoshiro256 rng(1000 + pe.rank());
+    bgq::Xoshiro256 rng(base_seed + pe.rank());
     static constexpr std::size_t kSizes[] = {0,   4,    32,   100,
                                              512, 4000, 5000, 40000};
     for (int i = 0; i < kPerPe; ++i) {
@@ -126,7 +131,8 @@ TEST(Stress, RandomManyToManyPattern) {
   bgq::m2m::Coordinator coord(machine);
   const auto npes = static_cast<PeRank>(machine.pe_count());
 
-  bgq::Xoshiro256 rng(77);
+  bgq::Xoshiro256 rng(
+      bgq::test_support::announce_seed("Stress.RandomManyToMany", 77));
   struct Edge {
     PeRank src, dst;
     std::uint32_t dst_slot;
