@@ -17,6 +17,7 @@
 
 #include "alloc/arena_allocator.hpp"
 #include "alloc/pool_allocator.hpp"
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
@@ -62,7 +63,7 @@ double episode_ns_per_op(alloc::IAllocator& a, unsigned threads,
   return static_cast<double>(t.elapsed_ns()) / ops;
 }
 
-void run_figure6() {
+void run_figure6(bench::JsonReport& json) {
   std::printf("== Figure 6: contended malloc + cross-thread free "
               "(ns per alloc+free pair) ==\n");
   std::printf("paper: the lockless pool removes arena-mutex contention "
@@ -82,6 +83,10 @@ void run_figure6() {
     const double ta = episode_ns_per_op(arena, kThreads, bytes, kInner);
     const double tp = episode_ns_per_op(pool, kThreads, bytes, kInner);
     tbl.row(bytes, ta, tp, ta / tp, arena.contention_events());
+    const std::string sz = std::to_string(bytes);
+    json.add("fig6.arena_ns." + sz, ta);
+    json.add("fig6.pool_ns." + sz, tp);
+    json.add("fig6.arena_waits." + sz, arena.contention_events());
   }
   tbl.print();
   std::printf("\n");
@@ -116,8 +121,9 @@ BENCHMARK(BM_PoolAllocFree)->Arg(256)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_figure6();
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_alloc");
+  run_figure6(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json.write();
 }

@@ -9,7 +9,9 @@
 // ordering with genuinely executed code.
 #include <atomic>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "converse/machine.hpp"
@@ -33,7 +35,7 @@ const PaperCell kPaper64[5] = {{787, 507}, {731, 459}, {625, 268},
 const PaperCell kPaper32[5] = {{457, 142}, {398, 127}, {379, 110},
                                {376, 93},  {377, 74}};
 
-void simulated_table() {
+void simulated_table(bench::JsonReport& json) {
   std::printf("== Table I (simulated): fwd+bwd c2c 3D FFT step (us) ==\n");
   std::printf("paper values in parentheses; target is the shape — m2m "
               "wins everywhere, more at small grids / large counts\n\n");
@@ -85,10 +87,16 @@ void simulated_table() {
     b.runtime.comm_threads = 8;
     return simulate_fft(a).step_us / simulate_fft(b).step_us;
   };
-  sp.row("128^3 on 64", ratio(128, 64), 3030.0 / 1826.0);
-  sp.row("32^3 on 64", ratio(32, 64), 457.0 / 142.0);
-  sp.row("32^3 on 1024", ratio(32, 1024), 377.0 / 74.0);
+  const double r128_64 = ratio(128, 64);
+  const double r32_64 = ratio(32, 64);
+  const double r32_1024 = ratio(32, 1024);
+  sp.row("128^3 on 64", r128_64, 3030.0 / 1826.0);
+  sp.row("32^3 on 64", r32_64, 457.0 / 142.0);
+  sp.row("32^3 on 1024", r32_1024, 377.0 / 74.0);
   sp.print();
+  json.add("table1.ratio.128_64", r128_64);
+  json.add("table1.ratio.32_64", r32_64);
+  json.add("table1.ratio.32_1024", r32_1024);
 }
 
 double functional_roundtrip_us(fft::Transport transport, std::size_t n,
@@ -113,22 +121,27 @@ double functional_roundtrip_us(fft::Transport transport, std::size_t n,
   return us.load();
 }
 
-void functional_section() {
+void functional_section(bench::JsonReport& json) {
   std::printf("\n== Functional cross-check: real Pencil3DFFT, 4 PEs ==\n");
   std::printf("(in-process scale; demonstrates the executed code paths "
               "behind the simulated rows)\n\n");
   TextTable tbl({"grid", "p2p_us", "m2m_us"});
   for (std::size_t n : {8u, 16u, 32u}) {
-    tbl.row(n, functional_roundtrip_us(fft::Transport::kP2P, n, 5),
-            functional_roundtrip_us(fft::Transport::kM2M, n, 5));
+    const double p = functional_roundtrip_us(fft::Transport::kP2P, n, 5);
+    const double m = functional_roundtrip_us(fft::Transport::kM2M, n, 5);
+    tbl.row(n, p, m);
+    const std::string g = std::to_string(n);
+    json.add("functional.p2p_us." + g, p);
+    json.add("functional.m2m_us." + g, m);
   }
   tbl.print();
 }
 
 }  // namespace
 
-int main() {
-  simulated_table();
-  functional_section();
-  return 0;
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_fft_table1");
+  simulated_table(json);
+  functional_section(json);
+  return json.write();
 }

@@ -7,38 +7,47 @@
 // thread doing fixed arithmetic while a second thread idles under each
 // policy, and report the active thread's throughput plus the idle
 // thread's wake latency when work finally arrives.
+//
+// Wake latency is measured through the trace subsystem: the poster emits
+// kMsgEnqueue on its ring just before publishing, the idler emits
+// kMsgDequeue on receipt, and the two tracks FIFO-match after the run —
+// the same event stream a traced Machine run produces.
 #include <atomic>
 #include <cstdio>
 #include <thread>
 
+#include "bench_json.hpp"
 #include "common/spin.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "queue/l2_atomic_queue.hpp"
+#include "trace/trace.hpp"
 
 using namespace bgq;
 
 namespace {
 
 struct Result {
-  double active_mops = 0;   ///< active thread's Mops/s with the idler beside it
-  double wake_us = 0;       ///< idle thread's median reaction latency
+  double active_mops = 0;  ///< active thread's Mops/s with the idler beside it
+  double wake_us = 0;      ///< idle thread's median reaction latency
+  std::uint64_t wakes = 0; ///< matched post->receive pairs
 };
 
 Result run_policy(IdlePollPolicy policy) {
   queue::L2AtomicQueue<std::uint64_t*> q(64);
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> posted_at{0};
-  SampleSet wakes;
+  trace::Session session(true, 1 << 10);
+  trace::EventRing* post_ring = session.make_ring(0, 0, "poster");
+  trace::EventRing* idle_ring = session.make_ring(0, 1, "idler");
 
   std::thread idler([&] {
+    trace::Session::bind_thread(idle_ring);
     while (!stop.load(std::memory_order_acquire)) {
       // The §III-D loop: probe the message-queue counter, pace per policy.
       if (auto* m = q.try_dequeue()) {
         (void)m;
-        wakes.add((now_ns() - posted_at.load(std::memory_order_acquire)) *
-                  1e-3);
+        trace::emit_here(trace::EventKind::kMsgDequeue, 0);
         continue;
       }
       switch (policy) {
@@ -58,23 +67,38 @@ Result run_policy(IdlePollPolicy policy) {
   for (int burst = 0; burst < 20; ++burst) {
     for (int i = 0; i < 400000; ++i) sink = sink * 1.0000001 + 1e-9;
     ops += 400000;
-    posted_at.store(now_ns(), std::memory_order_release);
+    // Stamp-then-publish, so the dequeue timestamp is always later.
+    post_ring->emit({now_ns(), 0, trace::EventKind::kMsgEnqueue});
     q.enqueue(&token_storage);
   }
   const double secs = t.elapsed_s();
   stop.store(true, std::memory_order_release);
   idler.join();
 
+  // FIFO-match the poster's enqueues with the idler's dequeues (the queue
+  // is SPSC here, so ordinal i on one track is ordinal i on the other).
+  const auto& flat = session.collect();
+  SampleSet wakes;
+  const auto& posts = flat.tracks[0].events;
+  const auto& takes = flat.tracks[1].events;
+  const std::size_t n = posts.size() < takes.size() ? posts.size()
+                                                    : takes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    wakes.add(static_cast<double>(takes[i].t_ns - posts[i].t_ns) * 1e-3);
+  }
+
   Result r;
   r.active_mops = ops / secs * 1e-6;
   r.wake_us = wakes.median();
+  r.wakes = n;
   (void)sink;
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_idlepoll");
   std::printf("== Sec III-D ablation: idle-poll pacing ==\n");
   std::printf("paper: the optimized poll stalls on L2 atomic loads so an "
               "idle thread leaves the core's pipeline to active "
@@ -90,5 +114,14 @@ int main() {
   std::printf("\nexpected shape: paced/yield give the active thread more "
               "of the core than hot spin, at modestly higher wake "
               "latency\n");
-  return 0;
+  json.add("hot_spin.active_mops", hot.active_mops);
+  json.add("hot_spin.wake_us", hot.wake_us);
+  json.add("hot_spin.wakes", hot.wakes);
+  json.add("l2_paced.active_mops", paced.active_mops);
+  json.add("l2_paced.wake_us", paced.wake_us);
+  json.add("l2_paced.wakes", paced.wakes);
+  json.add("os_yield.active_mops", yield.active_mops);
+  json.add("os_yield.wake_us", yield.wake_us);
+  json.add("os_yield.wakes", yield.wakes);
+  return json.write();
 }

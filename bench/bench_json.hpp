@@ -1,0 +1,119 @@
+// Shared machine-readable reporting for the bench_* binaries.
+//
+// Every bench accepts `--json <path>` (or `--json=<path>`): alongside its
+// human-readable tables it then writes a flat metric dictionary
+//
+//   {"schema": "bgq-bench-v1",
+//    "bench":  "bench_idlepoll",
+//    "metrics": {"l2_paced.active_mops": 123.4, ...}}
+//
+// so CI can smoke-test numbers without scraping stdout.  Metric names
+// follow the registry scheme (lowercase dotted, see src/trace/registry.hpp).
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     bgq::bench::JsonReport json =
+//         bgq::bench::parse_args(argc, argv, "bench_foo");
+//     ...
+//     json.add("pingpong.small.rtt_us", rtt);
+//     return json.write();  // no-op (success) when --json was not given
+//   }
+//
+// parse_args() strips the flag from argv so benches built on
+// google-benchmark can hand the remaining args to benchmark::Initialize.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace bgq::bench {
+
+class JsonReport {
+ public:
+  JsonReport(std::string bench, std::string path)
+      : bench_(std::move(bench)), path_(std::move(path)) {}
+
+  /// True when --json was given (metrics will actually be written).
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  void add(std::string name, double v) {
+    metrics_.push_back({std::move(name), v, 0, false});
+  }
+  void add(std::string name, std::uint64_t v) {
+    metrics_.push_back({std::move(name), 0.0, v, true});
+  }
+  void add(std::string name, int v) {
+    add(std::move(name), static_cast<std::uint64_t>(v));
+  }
+
+  /// Write the report (if --json was given).  Returns a main()-ready exit
+  /// code: 0 on success or when disabled, 1 when the file can't be opened.
+  int write() const {
+    if (!enabled()) return 0;
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "%s: cannot open --json path %s\n",
+                   bench_.c_str(), path_.c_str());
+      return 1;
+    }
+    trace::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "bgq-bench-v1");
+    w.kv("bench", bench_);
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& m : metrics_) {
+      if (m.is_int) {
+        w.kv(m.name, m.uval);
+      } else {
+        w.kv(m.name, m.dval);
+      }
+    }
+    w.end_object();
+    w.end_object();
+    os << "\n";
+    return os.good() ? 0 : 1;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double dval;
+    std::uint64_t uval;
+    bool is_int;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Metric> metrics_;
+};
+
+/// Extract `--json <path>` / `--json=<path>` from argv (removing it, so
+/// google-benchmark's own flag parsing never sees it) and build a report.
+inline JsonReport parse_args(int& argc, char** argv, std::string bench) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return JsonReport(std::move(bench), std::move(path));
+}
+
+}  // namespace bgq::bench

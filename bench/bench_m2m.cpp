@@ -4,9 +4,11 @@
 // of comm-thread parallel injection.
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "converse/machine.hpp"
@@ -104,7 +106,8 @@ double p2p_alltoall_us(cvs::Mode mode, std::size_t chunk_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_m2m");
   std::printf("== Sec III-E ablation: all-to-all burst, p2p vs m2m "
               "(functional, 4 PEs) ==\n");
   std::printf("m2m removes per-message allocation + scheduling; the gap "
@@ -121,8 +124,14 @@ int main() {
       const double p = p2p_alltoall_us(mode, bytes, kEpochs);
       const double m = m2m_alltoall_us(mode, bytes, kEpochs);
       tbl.row(bytes, mname, p, m, p / m);
+      const std::string key = std::string(mode == cvs::Mode::kSmp
+                                              ? "smp."
+                                              : "smp_ct.") +
+                              std::to_string(bytes);
+      json.add("m2m.p2p_us." + key, p);
+      json.add("m2m.m2m_us." + key, m);
     }
   }
   tbl.print();
-  return 0;
+  return json.write();
 }

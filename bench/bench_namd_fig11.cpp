@@ -7,11 +7,14 @@
 // at 1024 and 3981 at 4096 nodes over one core.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/namd_model.hpp"
 
 using namespace bgq::model;
+namespace bench = bgq::bench;
 
 namespace {
 
@@ -57,7 +60,8 @@ double bgp_time(std::size_t nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_namd_fig11");
   std::printf("== Figure 11 (simulated): ApoA1 us/step, BG/P vs BG/Q, "
               "PME every 4 ==\n");
   std::printf("paper anchors: BG/Q best 683us at 4096 nodes; speedup "
@@ -77,7 +81,11 @@ int main() {
     const double q = best_bgq(nodes, cfg);
     const double p = bgp_time(nodes);
     tbl.row(nodes, p, q, cfg, t1 / q, p / q);
+    const std::string n = std::to_string(nodes);
+    json.add("fig11.bgp_us." + n, p);
+    json.add("fig11.bgq_us." + n, q);
+    json.add("fig11.speedup." + n, t1 / q);
   }
   tbl.print();
-  return 0;
+  return json.write();
 }

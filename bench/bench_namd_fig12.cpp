@@ -4,13 +4,17 @@
 // CmiDirectManytomany PME with eight comm threads scales to 16,384 nodes
 // at 5.8 ms/step (best published for this system at the time).
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/namd_model.hpp"
 
 using namespace bgq::model;
+namespace bench = bgq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_namd_fig12");
   std::printf("== Figure 12 (simulated): STMV 20M ms/step, PME every 4 "
               "==\n");
   std::printf("paper anchor: 5.8 ms/step at 16,384 nodes with m2m PME; "
@@ -32,7 +36,10 @@ int main() {
     const double a = simulate_namd_step(std_pme).total_us * 1e-3;
     const double b = simulate_namd_step(m2m).total_us * 1e-3;
     tbl.row(nodes, a, b, a / b);
+    const std::string n = std::to_string(nodes);
+    json.add("fig12.std_pme_ms." + n, a);
+    json.add("fig12.m2m_pme_ms." + n, b);
   }
   tbl.print();
-  return 0;
+  return json.write();
 }

@@ -6,13 +6,17 @@
 // thread); compute-bound counts favour all-worker configs, communication-
 // bound counts favour dedicated comm threads.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/namd_model.hpp"
 
 using namespace bgq::model;
+namespace bench = bgq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_namd_fig7");
   std::printf("== Figure 7 (simulated): ApoA1 us/step, PME every 4 ==\n");
   std::printf("paper shape: 64 threads/node wins while compute-bound; "
               "dedicated comm threads win once communication-bound\n\n");
@@ -41,9 +45,13 @@ int main() {
                        : b <= c         ? "32wk+8ct"
                                         : "nonSMP";
     tbl.row(nodes, a, b, c, best);
+    const std::string n = std::to_string(nodes);
+    json.add("fig7.w64_us." + n, a);
+    json.add("fig7.w32_ct8_us." + n, b);
+    json.add("fig7.nonsmp_us." + n, c);
   }
   tbl.print();
   std::printf("\npaper anchor: best ApoA1 timestep 683 us on 4096 nodes "
               "(PME every 4 steps)\n");
-  return 0;
+  return json.write();
 }

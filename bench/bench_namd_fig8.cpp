@@ -5,13 +5,17 @@
 // vs mutex queues + GNU allocator; at 512 nodes with one process per node
 // the L2-atomic build is ~67% faster.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/namd_model.hpp"
 
 using namespace bgq::model;
+namespace bench = bgq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_namd_fig8");
   std::printf("== Figure 8 (simulated): ApoA1 us/step, L2 atomics "
               "on/off ==\n");
   std::printf("paper anchor: at 512 nodes, one process per node, L2 "
@@ -43,7 +47,10 @@ int main() {
     const double tb_off = simulate_namd_step(b_off).total_us;
     tbl.row(nodes, ta_on, ta_off, ta_off / ta_on, tb_on, tb_off,
             tb_off / tb_on);
+    const std::string n = std::to_string(nodes);
+    json.add("fig8.1ppn.speedup." + n, ta_off / ta_on);
+    json.add("fig8.2ppn.speedup." + n, tb_off / tb_on);
   }
   tbl.print();
-  return 0;
+  return json.write();
 }

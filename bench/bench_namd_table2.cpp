@@ -7,13 +7,17 @@
 //   8192   131072  30.3          106,847
 //   16384  262144  17.9          180,864
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/namd_model.hpp"
 
 using namespace bgq::model;
+namespace bench = bgq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_namd_table2");
   std::printf("== Table II (simulated): STMV 100M step (ms), PME every 4 "
               "==\n");
   std::printf("speedup convention: parallel efficiency 1 at 2048 nodes "
@@ -40,7 +44,10 @@ int main() {
     const double speedup = 32768.0 * t2048 / ms;
     tbl.row(node_counts[i], node_counts[i] * 16, workers[i], ms,
             paper_ms[i], speedup, paper_speedup[i]);
+    const std::string n = std::to_string(node_counts[i]);
+    json.add("table2.sim_ms." + n, ms);
+    json.add("table2.sim_speedup." + n, speedup);
   }
   tbl.print();
-  return 0;
+  return json.write();
 }

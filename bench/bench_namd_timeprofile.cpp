@@ -18,11 +18,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "converse/machine.hpp"
 #include "m2m/manytomany.hpp"
 #include "md/parallel_md.hpp"
+#include "trace/trace.hpp"
 
 using namespace bgq;
 
@@ -44,7 +46,8 @@ ProfileResult run_profile(cvs::Mode mode, fft::Transport transport,
   cfg.mode = mode;
   cfg.workers_per_process = 2;
   cfg.comm_threads = 1;
-  cfg.trace_utilization = true;
+  cfg.trace_events = true;
+  cfg.trace_ring_events = 1 << 17;  // phases + per-message handler events
   cvs::Machine machine(cfg);
   m2m::Coordinator coord(machine);
 
@@ -71,7 +74,7 @@ ProfileResult run_profile(cvs::Mode mode, fft::Transport transport,
     pe.barrier();
     if (pe.rank() == 0) {
       t_begin.store(now_ns());
-      msgs0.store(machine.aggregate_stats().messages_sent);
+      msgs0.store(machine.metrics().total("pe.msgs.sent"));
     }
     sim.run_steps(pe, steps);
     pe.barrier();
@@ -84,22 +87,32 @@ ProfileResult run_profile(cvs::Mode mode, fft::Transport transport,
       static_cast<double>(t_end.load() - t_begin.load());
   out.steps_per_s = steps / (wall_ns * 1e-9);
   out.msgs_per_step =
-      static_cast<double>(machine.aggregate_stats().messages_sent -
+      static_cast<double>(machine.metrics().total("pe.msgs.sent") -
                           msgs0.load()) /
       steps;
 
+  // Phase spans come back from the per-PE trace rings (ParallelMd emits
+  // kPhaseBegin/kPhaseEnd; arg = md::kPhaseCutoff / md::kPhasePme).
+  const auto& flat = machine.trace_session().collect();
+  if (flat.total_dropped() != 0) {
+    std::fprintf(stderr, "warning: %llu trace events dropped "
+                 "(raise trace_ring_events)\n",
+                 static_cast<unsigned long long>(flat.total_dropped()));
+  }
   constexpr int kBuckets = 64;
   std::vector<double> cut(kBuckets, 0.0), pme(kBuckets, 0.0);
   double busy_cut = 0, busy_pme = 0, pme_spans = 0;
   std::size_t pme_count = 0;
-  for (cvs::PeRank r = 0; r < machine.pe_count(); ++r) {
-    for (const auto& span : sim.busy_spans(r)) {
+  for (const auto& track : flat.tracks) {
+    for (const auto& span :
+         trace::extract_spans(track, trace::EventKind::kPhaseBegin)) {
       const auto lo = std::max<std::uint64_t>(span.t0, t_begin.load());
       const auto hi = std::min<std::uint64_t>(span.t1, t_end.load());
       if (hi <= lo) continue;
       const double dur = static_cast<double>(hi - lo);
-      (span.phase == 0 ? busy_cut : busy_pme) += dur;
-      if (span.phase == 1) {
+      const bool is_pme = span.arg == md::kPhasePme;
+      (is_pme ? busy_pme : busy_cut) += dur;
+      if (is_pme) {
         pme_spans += dur;
         ++pme_count;
       }
@@ -107,7 +120,7 @@ ProfileResult run_profile(cvs::Mode mode, fft::Transport transport,
                         wall_ns * kBuckets;
       const double b1 = static_cast<double>(hi - t_begin.load()) /
                         wall_ns * kBuckets;
-      auto& acc = span.phase == 0 ? cut : pme;
+      auto& acc = is_pme ? pme : cut;
       for (int b = static_cast<int>(b0);
            b <= static_cast<int>(b1) && b < kBuckets; ++b) {
         const double lob = std::max(b0, static_cast<double>(b));
@@ -141,7 +154,19 @@ void print_profile(const char* label, const ProfileResult& r) {
 
 }  // namespace
 
-int main() {
+void report(bench::JsonReport& json, const char* prefix,
+            const ProfileResult& r) {
+  const std::string p(prefix);
+  json.add(p + ".steps_per_s", r.steps_per_s);
+  json.add(p + ".utilization", r.utilization);
+  json.add(p + ".pme_share", r.pme_share);
+  json.add(p + ".pme_span_ms", r.pme_span_ms);
+  json.add(p + ".msgs_per_step", r.msgs_per_step);
+}
+
+int main(int argc, char** argv) {
+  bench::JsonReport json =
+      bench::parse_args(argc, argv, "bench_namd_timeprofile");
   constexpr unsigned kSteps = 24;
 
   std::printf("== Figure 9: utilization with vs without comm threads ==\n");
@@ -169,5 +194,10 @@ int main() {
               "PME span ratio %.2f (paper window: 9 m2m steps vs 7)\n",
               p2p.msgs_per_step / std::max(1.0, m2m.msgs_per_step),
               m2m.pme_span_ms / p2p.pme_span_ms);
-  return 0;
+
+  report(json, "fig9.smp", no_ct);
+  report(json, "fig9.smp_ct", with_ct);
+  report(json, "fig10.p2p", p2p);
+  report(json, "fig10.m2m", m2m);
+  return json.write();
 }

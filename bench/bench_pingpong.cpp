@@ -15,7 +15,9 @@
 // *ordering* and the size scaling are the reproduction targets.
 #include <atomic>
 #include <cstring>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
@@ -96,7 +98,8 @@ cvs::MachineConfig mode_config(cvs::Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_pingpong");
   std::printf("== Figure 4: one-way latency to neighbouring node ==\n");
   std::printf("paper anchors (<32B): nonSMP 2.9us, SMP 3.3us, "
               "SMP+comm 3.7us; modes converge above 16KB\n\n");
@@ -113,6 +116,10 @@ int main() {
     const auto c = run_pingpong(mode_config(cvs::Mode::kSmpCommThreads),
                                 bytes, kRounds, false);
     fig4.row(bytes, a.one_way_us, b.one_way_us, c.one_way_us);
+    const std::string sz = std::to_string(bytes);
+    json.add("fig4.nonsmp.us." + sz, a.one_way_us);
+    json.add("fig4.smp.us." + sz, b.one_way_us);
+    json.add("fig4.smp_ct.us." + sz, c.one_way_us);
   }
   fig4.print();
 
@@ -135,7 +142,11 @@ int main() {
     const auto iic = run_pingpong(mode_config(cvs::Mode::kSmpCommThreads),
                                   bytes, kRounds, true);
     fig5.row(bytes, i.one_way_us, ii.one_way_us, iic.one_way_us);
+    const std::string sz = std::to_string(bytes);
+    json.add("fig5.diff_proc.us." + sz, i.one_way_us);
+    json.add("fig5.same_smp.us." + sz, ii.one_way_us);
+    json.add("fig5.same_smp_ct.us." + sz, iic.one_way_us);
   }
   fig5.print();
-  return 0;
+  return json.write();
 }

@@ -7,7 +7,9 @@
 // transpose partners, then by feeding the mapping's hop statistics into
 // the FFT cost model.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "model/fft_model.hpp"
 #include "topology/placement.hpp"
@@ -15,7 +17,8 @@
 
 using namespace bgq;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_placement");
   std::printf("== Sec VII (future work): topology-aware pencil placement "
               "==\n");
   std::printf("average torus hops between FFT transpose partners, "
@@ -40,6 +43,8 @@ int main() {
     std::snprintf(grid, sizeof(grid), "%zux%zu", c.g1, c.g2);
     tbl.row(c.nodes, grid, lin.overall(), fold.overall(),
             lin.overall() / fold.overall());
+    json.add("placement.hop_reduction." + std::to_string(c.nodes),
+             lin.overall() / fold.overall());
   }
   tbl.print();
 
@@ -67,8 +72,12 @@ int main() {
     model::FftRun placed = run;
     placed.machine.net.hop_latency_ns = static_cast<std::uint64_t>(
         placed.machine.net.hop_latency_ns * hop_gain);
-    t2.row(nodes, base, simulate_fft(placed).step_us);
+    const double placed_us = simulate_fft(placed).step_us;
+    t2.row(nodes, base, placed_us);
+    const std::string n = std::to_string(nodes);
+    json.add("placement.oblivious_us." + n, base);
+    json.add("placement.placed_us." + n, placed_us);
   }
   t2.print();
-  return 0;
+  return json.write();
 }

@@ -9,7 +9,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
@@ -62,7 +64,8 @@ double one_way_us(std::size_t bytes, bool force_rendezvous, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_protocol");
   std::printf("== Sec III ablation: eager vs rendezvous protocol ==\n");
   std::printf("eager copies payload through the fabric (one transfer); "
               "rendezvous sends a header, rgets the payload, and acks "
@@ -76,9 +79,12 @@ int main() {
     const double e = one_way_us(bytes, false, kRounds);
     const double r = one_way_us(bytes, true, kRounds);
     tbl.row(bytes, e, r, e <= r ? "eager" : "rendezvous");
+    const std::string sz = std::to_string(bytes);
+    json.add("protocol.eager_us." + sz, e);
+    json.add("protocol.rendezvous_us." + sz, r);
   }
   tbl.print();
   std::printf("\nthe machine layer's default threshold is 4096 bytes "
               "(MachineConfig::eager_max)\n");
-  return 0;
+  return json.write();
 }

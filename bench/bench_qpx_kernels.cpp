@@ -8,11 +8,13 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "md/kernels.hpp"
 #include "md/system.hpp"
 #include "md/tables.hpp"
 
 using namespace bgq::md;
+namespace bench = bgq::bench;
 
 namespace {
 
@@ -82,12 +84,14 @@ BENCHMARK(BM_PairListBuild);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_qpx_kernels");
   std::printf("== Sec IV-B.1: nonbonded kernel, scalar vs QPX-style ==\n");
   std::printf("paper anchor: QPX + unrolling gave 15.8%% serial speedup "
               "on ApoA1 (and 2.3x from 4 SMT threads/core, which the "
               "scale models encode)\n");
   std::printf("pairs in list: %zu\n\n", setup().pairs.size());
+  json.add("pairs", static_cast<std::uint64_t>(setup().pairs.size()));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json.write();
 }

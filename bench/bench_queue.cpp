@@ -6,9 +6,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "queue/l2_atomic_queue.hpp"
@@ -59,19 +61,23 @@ struct MutexQ : queue::MutexQueue<std::uint64_t*> {
   explicit MutexQ(std::size_t) {}
 };
 
-void run_comparison() {
+void run_comparison(bench::JsonReport& json) {
   std::printf("== Sec III-A ablation: MPSC queue cost (ns/message) ==\n");
   std::printf("paper: L2 lockless < ordered (PAMI/MPI semantics) < "
               "mutex under contention\n\n");
   constexpr std::size_t kTotal = 200000;
   TextTable tbl({"producers", "l2_lockless", "ordered_l2", "mutex"});
   for (unsigned p : {1u, 2u, 4u, 8u}) {
-    tbl.row(p,
-            mpsc_ns_per_msg<queue::L2AtomicQueue<std::uint64_t*>>(p,
-                                                                  kTotal),
-            mpsc_ns_per_msg<queue::OrderedL2Queue<std::uint64_t*>>(p,
-                                                                   kTotal),
-            mpsc_ns_per_msg<MutexQ>(p, kTotal));
+    const double l2 =
+        mpsc_ns_per_msg<queue::L2AtomicQueue<std::uint64_t*>>(p, kTotal);
+    const double ord =
+        mpsc_ns_per_msg<queue::OrderedL2Queue<std::uint64_t*>>(p, kTotal);
+    const double mtx = mpsc_ns_per_msg<MutexQ>(p, kTotal);
+    tbl.row(p, l2, ord, mtx);
+    const std::string np = std::to_string(p);
+    json.add("mpsc.l2_lockless_ns." + np, l2);
+    json.add("mpsc.ordered_l2_ns." + np, ord);
+    json.add("mpsc.mutex_ns." + np, mtx);
   }
   tbl.print();
   std::printf("\n");
@@ -122,8 +128,9 @@ BENCHMARK(BM_L2QueueOverflowPressure);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_comparison();
+  bench::JsonReport json = bench::parse_args(argc, argv, "bench_queue");
+  run_comparison(json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return json.write();
 }

@@ -1,13 +1,65 @@
 // Machine explorer: the BG/Q partitions the paper ran on, their torus
-// shapes, diameters, bisection, and what topology-aware placement would
-// buy the FFT/PME pencil grids (§II-A and §VII).
+// shapes, diameters, bisection, what topology-aware placement would buy
+// the FFT/PME pencil grids (§II-A and §VII), and a live look at the
+// runtime's counter registry after a short traced run.
 #include <cstdio>
+#include <cstring>
 
 #include "common/table.hpp"
+#include "converse/machine.hpp"
 #include "topology/placement.hpp"
 #include "topology/torus.hpp"
 
 using namespace bgq;
+
+namespace {
+
+// Boot the smallest SMP machine, ring a token around it, and dump every
+// counter the runtime kept — the Projections-style summary view.
+void runtime_counters_section() {
+  std::printf("\n== Runtime metrics registry (2 nodes, SMP, traced) ==\n\n");
+
+  cvs::MachineConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = cvs::Mode::kSmp;
+  cfg.workers_per_process = 2;
+  cfg.trace_events = true;
+  cvs::Machine machine(cfg);
+
+  const cvs::HandlerId ring = machine.register_handler(
+      [](cvs::Pe& pe, cvs::Message* m) {
+        int hops;
+        std::memcpy(&hops, m->payload(), sizeof(hops));
+        if (hops == 0) {
+          pe.free_message(m);
+          pe.exit_all();
+          return;
+        }
+        --hops;
+        std::memcpy(m->payload(), &hops, sizeof(hops));
+        pe.send_message(
+            static_cast<cvs::PeRank>((pe.rank() + 1) %
+                                     pe.machine().pe_count()),
+            m);
+      });
+  machine.run([&](cvs::Pe& pe) {
+    if (pe.rank() != 0) return;
+    cvs::Message* m = pe.alloc_message(sizeof(int), ring);
+    const int hops = 3 * static_cast<int>(machine.pe_count());
+    std::memcpy(m->payload(), &hops, sizeof(hops));
+    pe.send_message(1, m);
+  });
+
+  TextTable counters({"counter", "total"});
+  for (const auto& [name, value] : machine.metrics_report().entries) {
+    counters.row(name, value);
+  }
+  counters.print();
+  std::printf("\n(same data every bench serializes with --json; the "
+              "timeline view is Machine::write_chrome_trace)\n");
+}
+
+}  // namespace
 
 int main() {
   std::printf("== BG/Q partitions (5D torus, E = 2) vs BG/P (3D) ==\n\n");
@@ -54,5 +106,7 @@ int main() {
     pl.row(n, grid, lin.overall(), fold.overall());
   }
   pl.print();
+
+  runtime_counters_section();
   return 0;
 }

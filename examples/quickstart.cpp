@@ -57,11 +57,16 @@ int main() {
     pe.send_message(1, m);
   });
 
-  const auto stats = machine.aggregate_stats();
+  // 4. Report: every runtime counter lives in the machine's metrics
+  //    registry; ask for the whole thing or a single dotted name.
+  const trace::Report report = machine.metrics_report();
   std::printf("done: %llu messages executed, %llu over the network, "
               "%llu by intra-node pointer exchange\n",
-              static_cast<unsigned long long>(stats.messages_executed),
-              static_cast<unsigned long long>(stats.network_sends),
-              static_cast<unsigned long long>(stats.intra_process_sends));
+              static_cast<unsigned long long>(
+                  report.value("pe.msgs.executed")),
+              static_cast<unsigned long long>(
+                  report.value("pe.sends.network")),
+              static_cast<unsigned long long>(
+                  report.value("pe.sends.intra")));
   return 0;
 }

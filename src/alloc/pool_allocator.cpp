@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/cacheline.hpp"
+#include "trace/trace.hpp"
 #include "verify/schedule_point.hpp"
 
 namespace bgq::alloc {
@@ -90,6 +91,7 @@ void* PoolAllocator::allocate(ThreadId tid, std::size_t bytes) {
     if (void* user = mine.pools[cls].try_dequeue()) {
       auto* h = header_of(user);
       BGQ_SCHED_POINT("alloc.pool.hit");
+      BGQ_TRACE_EVENT(::bgq::trace::EventKind::kAllocPoolHit, cls);
       h->magic = kLiveMagic;
       h->owner = tid;  // ownership is stable, but keep the header honest
       mine.pool_hits.fetch_add(1, std::memory_order_relaxed);
@@ -106,6 +108,7 @@ void* PoolAllocator::allocate(ThreadId tid, std::size_t bytes) {
   h->kind = cls < kNumSizeClasses ? kKindPool : kKindHeapDirect;
   h->magic = kLiveMagic;
   mine.heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  BGQ_TRACE_EVENT(::bgq::trace::EventKind::kAllocHeapGrow, cls);
   return user;
 }
 
@@ -127,8 +130,10 @@ void PoolAllocator::deallocate(ThreadId tid, void* p) {
   BGQ_SCHED_POINT("alloc.free.marked");
   ThreadPools& owner = *pools_[h->owner];
   if (!owner.pools[h->size_class].try_enqueue(p)) {
+    [[maybe_unused]] const std::uint16_t cls = h->size_class;
     raw_delete(h);
     pools_[tid]->heap_frees.fetch_add(1, std::memory_order_relaxed);
+    BGQ_TRACE_EVENT(::bgq::trace::EventKind::kAllocHeapSpill, cls);
   }
 }
 

@@ -52,8 +52,15 @@ struct MachineConfig {
   /// protocol").
   std::size_t eager_max = 4096;
 
-  /// Record per-PE busy/idle event traces (Fig. 9/10 time profiles).
-  bool trace_utilization = false;
+  /// Record per-PE event traces — handler begin/end, message
+  /// enqueue/dequeue, idle-poll transitions — into the machine's trace
+  /// session (Fig. 9/10 time profiles; export via write_chrome_trace or
+  /// trace::summarize).  Counters are always on; this gates the rings.
+  bool trace_events = false;
+
+  /// Per-thread trace ring capacity in events (rounded up to a power of
+  /// two); a full ring drops new events and counts the loss.
+  std::size_t trace_ring_events = 1 << 14;
 
   net::NetworkParams net{};
 

@@ -33,12 +33,17 @@ thread_local alloc::ThreadId Process::tls_tid_ = 0;
 
 Pe::Pe(Process& process, PeRank rank, unsigned local_index)
     : process_(process), rank_(rank), local_(local_index) {
-  const auto& cfg = process_.machine().config();
+  Machine& mach = process_.machine();
+  const auto& cfg = mach.config();
   if (cfg.use_l2_atomics) {
     l2_queue_ = std::make_unique<queue::L2AtomicQueue<void*>>(2048);
   } else {
     mutex_queue_ = std::make_unique<queue::MutexQueue<void*>>();
   }
+  counters_ = mach.metrics().make_shard("pe" + std::to_string(rank_));
+  ring_ = mach.trace_session().make_ring(
+      static_cast<std::uint32_t>(process_.endpoint()), local_,
+      "pe" + std::to_string(rank_));
 }
 
 Machine& Pe::machine() noexcept { return process_.machine(); }
@@ -61,15 +66,16 @@ void Pe::free_message(Message* m) {
 void Pe::send_message(PeRank dst, Message* m) {
   m->header().dst_pe = dst;
   m->header().src_pe = rank_;
-  ++stats_.messages_sent;
   Machine& mach = machine();
+  const CounterIds& ids = mach.counter_ids();
+  counters_->add(ids.msgs_sent);
   if (mach.process_of(dst) == mach.process_of(rank_)) {
     // Same SMP process: pointer exchange straight into the peer's queue.
-    ++stats_.intra_process_sends;
+    counters_->add(ids.sends_intra);
     mach.pe(dst).enqueue(m);
     return;
   }
-  ++stats_.network_sends;
+  counters_->add(ids.sends_network);
   process_.net_send(*this, dst, m);
 }
 
@@ -90,6 +96,9 @@ void Pe::broadcast(HandlerId handler, const void* payload, std::size_t bytes,
 }
 
 void Pe::enqueue(Message* m) {
+  // Producer-side trace tick, on the *sender's* track (null-bound
+  // threads skip at the cost of one thread-local load).
+  trace::emit_here(trace::EventKind::kMsgEnqueue, rank_);
   if (l2_queue_) {
     l2_queue_->enqueue(m->raw());
   } else {
@@ -100,19 +109,25 @@ void Pe::enqueue(Message* m) {
 void Pe::execute(Message* m) {
   const HandlerId h = m->header().handler;
   const std::uint64_t t0 = now_ns();
-  if (trace_enabled_) trace_.push_back({t0, true, h});
+  if (ring_) ring_->emit({t0, h, trace::EventKind::kHandlerBegin});
   machine().handler(h)(*this, m);
   const std::uint64_t t1 = now_ns();
-  stats_.busy_ns += t1 - t0;
-  ++stats_.messages_executed;
-  if (trace_enabled_) trace_.push_back({t1, false, h});
+  const CounterIds& ids = machine().counter_ids();
+  counters_->add(ids.busy_ns, t1 - t0);
+  counters_->add(ids.msgs_executed);
+  if (ring_) ring_->emit({t1, h, trace::EventKind::kHandlerEnd});
 }
 
 bool Pe::pump_one() {
   void* raw = l2_queue_ ? l2_queue_->try_dequeue()
                         : mutex_queue_->try_dequeue();
   if (raw != nullptr) {
-    execute(Message::from_raw(raw));
+    Message* m = Message::from_raw(raw);
+    if (ring_) {
+      ring_->emit({now_ns(), m->header().handler,
+                   trace::EventKind::kMsgDequeue});
+    }
+    execute(m);
     return true;
   }
   // No queued message: progress the network if this worker owns a context
@@ -126,16 +141,31 @@ bool Pe::pump_one() {
 void Pe::scheduler_loop() {
   Machine& mach = machine();
   const IdlePollPolicy policy = mach.config().idle_policy;
+  const CounterIds& ids = mach.counter_ids();
+  bool idle = false;
   while (!mach.stopping()) {
-    if (pump_one()) continue;
+    if (pump_one()) {
+      if (idle) {
+        idle = false;
+        if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
+      }
+      continue;
+    }
+    if (!idle) {
+      idle = true;
+      if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleBegin});
+    }
     // Idle poll (§III-D): pace the re-probe so sibling hardware threads
     // keep the core's pipeline (emulated by pause bursts / yields).
-    ++stats_.idle_probes;
+    counters_->add(ids.idle_probes);
     switch (policy) {
       case IdlePollPolicy::kHotSpin: cpu_relax(); break;
       case IdlePollPolicy::kL2Paced: l2_paced_delay(); break;
       case IdlePollPolicy::kOsYield: std::this_thread::yield(); break;
     }
+  }
+  if (idle && ring_) {
+    ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
   }
 }
 
@@ -169,7 +199,6 @@ Process::Process(Machine& machine, pami::EndpointId endpoint)
     const auto rank = static_cast<PeRank>(
         static_cast<std::size_t>(endpoint) * workers + w);
     pes_.push_back(std::make_unique<Pe>(*this, rank, w));
-    pes_.back()->trace_enabled_ = cfg.trace_utilization;
     if (commthreads == 0) {
       // Each worker advances its own context.
       pes_.back()->owned_context_ = &client_->context(w);
@@ -311,10 +340,17 @@ void Process::start_comm_threads(unsigned n) {
     ctxs.push_back(&client_->context(i));
   }
   const unsigned workers = worker_count();
+  Machine* mach = &machine_;
+  const auto ep = static_cast<std::uint32_t>(endpoint_);
   comm_pool_ = std::make_unique<pami::CommThreadPool>(
-      std::move(ctxs), n, [workers](unsigned comm_tid) {
+      std::move(ctxs), n, [workers, mach, ep](unsigned comm_tid) {
         // Comm threads use allocator slots after the workers'.
         set_current_tid(workers + comm_tid);
+        if (mach->trace_session().enabled()) {
+          mach->trace_session().adopt_thread(
+              ep, workers + comm_tid,
+              "comm" + std::to_string(ep) + "." + std::to_string(comm_tid));
+        }
       });
 }
 
@@ -327,7 +363,17 @@ void Process::stop_comm_threads() {
 // ---------------------------------------------------------------------------
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(cfg), torus_(topo::Torus::bgq_partition(cfg.nodes)) {
+    : cfg_(cfg),
+      torus_(topo::Torus::bgq_partition(cfg.nodes)),
+      trace_(cfg.trace_events, cfg.trace_ring_events) {
+  // Intern every machine-layer counter before any Pe makes its shard, so
+  // shards are born full-size and never resize on the hot path.
+  ids_.msgs_executed = metrics_.intern("pe.msgs.executed");
+  ids_.msgs_sent = metrics_.intern("pe.msgs.sent");
+  ids_.sends_intra = metrics_.intern("pe.sends.intra");
+  ids_.sends_network = metrics_.intern("pe.sends.network");
+  ids_.idle_probes = metrics_.intern("pe.idle.probes");
+  ids_.busy_ns = metrics_.intern("pe.busy_ns");
   fabric_ = std::make_unique<net::Fabric>(
       torus_, cfg_.net, cfg_.contexts_per_process(),
       cfg_.effective_processes_per_node());
@@ -367,6 +413,7 @@ void Machine::run(const std::function<void(Pe&)>& init) {
       Pe* pe = &proc->pe(w);
       workers.emplace_back([this, pe, w, &init] {
         Process::set_current_tid(w);
+        trace::Session::bind_thread(pe->ring_);
         worker_barrier();  // everyone exists before any traffic flows
         init(*pe);
         pe->scheduler_loop();
@@ -378,21 +425,47 @@ void Machine::run(const std::function<void(Pe&)>& init) {
   for (auto& p : processes_) p->stop_comm_threads();
 }
 
-PeStats Machine::aggregate_stats() const {
-  PeStats total;
+trace::Report Machine::metrics_report() {
+  // Fold the allocator and comm-thread counters in as gauges so one
+  // report covers the whole machine (summing across processes).
+  std::uint64_t pool_hits = 0, heap_allocs = 0, heap_frees = 0;
+  std::uint64_t arena_contention = 0, sweeps = 0, parks = 0;
+  bool any_pool = false, any_arena = false, any_comm = false;
   for (const auto& proc : processes_) {
-    for (unsigned w = 0; w < proc->worker_count(); ++w) {
-      const PeStats& s =
-          const_cast<Process&>(*proc).pe(w).stats();
-      total.messages_executed += s.messages_executed;
-      total.messages_sent += s.messages_sent;
-      total.intra_process_sends += s.intra_process_sends;
-      total.network_sends += s.network_sends;
-      total.idle_probes += s.idle_probes;
-      total.busy_ns += s.busy_ns;
+    if (auto* pool =
+            dynamic_cast<alloc::PoolAllocator*>(&proc->allocator())) {
+      any_pool = true;
+      pool_hits += pool->pool_hits();
+      heap_allocs += pool->heap_allocs();
+      heap_frees += pool->heap_frees();
+    } else if (auto* arena = dynamic_cast<alloc::ArenaAllocator*>(
+                   &proc->allocator())) {
+      any_arena = true;
+      arena_contention += arena->contention_events();
+    }
+    if (proc->comm_pool() != nullptr) {
+      any_comm = true;
+      sweeps += proc->comm_pool()->sweeps();
+      parks += proc->comm_pool()->parks();
     }
   }
-  return total;
+  if (any_pool) {
+    metrics_.set_gauge("alloc.pool.hits", pool_hits);
+    metrics_.set_gauge("alloc.heap.allocs", heap_allocs);
+    metrics_.set_gauge("alloc.heap.frees", heap_frees);
+  }
+  if (any_arena) {
+    metrics_.set_gauge("alloc.arena.contention", arena_contention);
+  }
+  if (any_comm) {
+    metrics_.set_gauge("comm.sweeps", sweeps);
+    metrics_.set_gauge("comm.parks", parks);
+  }
+  return metrics_.report();
+}
+
+void Machine::write_chrome_trace(std::ostream& os) {
+  trace::write_chrome_trace(os, trace_.collect());
 }
 
 }  // namespace bgq::cvs

@@ -32,6 +32,7 @@
 #include "queue/l2_atomic_queue.hpp"
 #include "queue/mutex_queue.hpp"
 #include "topology/torus.hpp"
+#include "trace/trace.hpp"
 
 namespace bgq::cvs {
 
@@ -43,21 +44,16 @@ class Pe;
 /// (pe.free_message) or forward it (pe.send_message).
 using HandlerFn = std::function<void(Pe&, Message*)>;
 
-/// Utilization trace event (Fig. 9/10 time profiles).
-struct TraceEvent {
-  std::uint64_t t_ns;   ///< host time
-  bool busy;            ///< true: handler started; false: handler finished
-  HandlerId handler;
-};
-
-/// Per-PE counters.
-struct PeStats {
-  std::uint64_t messages_executed = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t intra_process_sends = 0;
-  std::uint64_t network_sends = 0;
-  std::uint64_t idle_probes = 0;
-  std::uint64_t busy_ns = 0;
+/// Dense ids of the per-PE counters the machine layer maintains in the
+/// metrics registry (interned once at Machine construction; see
+/// src/trace/registry.hpp for the naming scheme).
+struct CounterIds {
+  trace::Registry::Id msgs_executed;  ///< pe.msgs.executed
+  trace::Registry::Id msgs_sent;      ///< pe.msgs.sent
+  trace::Registry::Id sends_intra;    ///< pe.sends.intra
+  trace::Registry::Id sends_network;  ///< pe.sends.network
+  trace::Registry::Id idle_probes;    ///< pe.idle.probes
+  trace::Registry::Id busy_ns;        ///< pe.busy_ns
 };
 
 /// One worker processing element.
@@ -111,8 +107,16 @@ class Pe {
   /// Machine-wide worker barrier (benchmark phase alignment).
   void barrier();
 
-  const PeStats& stats() const noexcept { return stats_; }
-  const std::vector<TraceEvent>& trace() const noexcept { return trace_; }
+  /// This PE's counter shard in the machine's metrics registry (owner
+  /// thread writes; read whole-machine totals via Machine::metrics()).
+  const trace::Registry::Shard& counters() const noexcept {
+    return *counters_;
+  }
+
+  /// This PE's event ring, or nullptr when the run was configured
+  /// without tracing (MachineConfig::trace_events).  Layers above the
+  /// machine (e.g. the parallel MD driver's phase markers) emit here.
+  trace::EventRing* trace_ring() noexcept { return ring_; }
 
   /// The PAMI context this worker advances itself (modes without comm
   /// threads), or nullptr when comm threads own all contexts.  Exposed for
@@ -129,7 +133,6 @@ class Pe {
   Process& process_;
   const PeRank rank_;
   const unsigned local_;
-  bool trace_enabled_ = false;
 
   // One of the two is active, per MachineConfig::use_l2_atomics.
   std::unique_ptr<queue::L2AtomicQueue<void*>> l2_queue_;
@@ -138,8 +141,8 @@ class Pe {
   // Context this worker advances (modes without comm threads), else null.
   pami::Context* owned_context_ = nullptr;
 
-  PeStats stats_;
-  std::vector<TraceEvent> trace_;
+  trace::Registry::Shard* counters_;       // owned by the machine registry
+  trace::EventRing* ring_ = nullptr;       // owned by the trace session
   std::uint64_t send_seq_ = 0;  // round-robin context routing
 };
 
@@ -248,12 +251,31 @@ class Machine {
   /// Worker barrier: callable only from PE threads during run().
   void worker_barrier();
 
-  // Aggregate statistics over all PEs.
-  PeStats aggregate_stats() const;
+  // ---- tracing & metrics (src/trace/) ------------------------------------
+
+  /// The machine-wide counter/gauge registry.  Per-PE counters live in
+  /// shards owned by the PEs; totals are exact once run() has returned.
+  trace::Registry& metrics() noexcept { return metrics_; }
+  const CounterIds& counter_ids() const noexcept { return ids_; }
+
+  /// Snapshot of every counter (summed over PEs) and gauge, including the
+  /// allocator and comm-thread gauges gathered from each process.
+  trace::Report metrics_report();
+
+  /// The event-trace session (per-PE + per-comm-thread rings).  Disabled
+  /// (empty) unless the config set trace_events.
+  trace::Session& trace_session() noexcept { return trace_; }
+
+  /// Flush all rings and write a Chrome trace_event JSON timeline
+  /// (about://tracing, Perfetto).
+  void write_chrome_trace(std::ostream& os);
 
  private:
   MachineConfig cfg_;
   topo::Torus torus_;
+  trace::Registry metrics_;
+  CounterIds ids_;
+  trace::Session trace_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<HandlerFn> handlers_;

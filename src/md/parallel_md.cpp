@@ -373,8 +373,8 @@ void ParallelMd::exchange_positions(cvs::Pe& pe) {
 
 void ParallelMd::compute_short_range(cvs::Pe& pe, StepEnergies& e) {
   Patch& p = *patches_[pe.rank()];
-  const bool trace = machine_.config().trace_utilization;
-  const std::uint64_t t0 = trace ? now_ns() : 0;
+  trace::EventRing* ring = pe.trace_ring();
+  if (ring) ring->emit({now_ns(), kPhaseCutoff, trace::EventKind::kPhaseBegin});
   const std::size_t nl = p.gid.size();
   p.force.assign(nl, {});
 
@@ -421,7 +421,7 @@ void ParallelMd::compute_short_range(cvs::Pe& pe, StepEnergies& e) {
   e.vdw = e1.vdw + e2.vdw;
   e.elec_real = e1.elec_real + e2.elec_real;
   for (std::size_t i = 0; i < nl; ++i) p.force[i] += forces[i];
-  if (trace) p.busy_spans.push_back({t0, now_ns(), 0});
+  if (ring) ring->emit({now_ns(), kPhaseCutoff, trace::EventKind::kPhaseEnd});
 }
 
 void ParallelMd::spread_local(Patch& p, std::size_t rank) {
@@ -684,8 +684,8 @@ void ParallelMd::apply_exclusion_corrections(Patch& p, StepEnergies& e) {
 
 void ParallelMd::compute_pme(cvs::Pe& pe, StepEnergies& e) {
   Patch& p = *patches_[pe.rank()];
-  const bool trace = machine_.config().trace_utilization;
-  const std::uint64_t t0 = trace ? now_ns() : 0;
+  trace::EventRing* ring = pe.trace_ring();
+  if (ring) ring->emit({now_ns(), kPhasePme, trace::EventKind::kPhaseBegin});
   const std::size_t K = cfg_.pme_grid;
 
   // Zero my pencil, then spread + exchange charges into it.
@@ -716,7 +716,7 @@ void ParallelMd::compute_pme(cvs::Pe& pe, StepEnergies& e) {
   exchange_potentials(pe);
   interpolate_recip_forces(p, pe.rank());
   apply_exclusion_corrections(p, e);
-  if (trace) p.busy_spans.push_back({t0, now_ns(), 1});
+  if (ring) ring->emit({now_ns(), kPhasePme, trace::EventKind::kPhaseEnd});
 }
 
 // ---------------------------------------------------------------------------

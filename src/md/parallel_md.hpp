@@ -48,12 +48,12 @@ struct MdConfig {
   std::uint32_t m2m_tag_base = 200;  ///< tags for PME grid exchanges
 };
 
-/// A busy interval on a PE (host ns), tagged by phase for the Fig. 9/10
-/// time profiles: 0 = cutoff/integration work, 1 = PME work.
-struct BusySpan {
-  std::uint64_t t0, t1;
-  int phase;
-};
+/// Phase tags carried in the kPhaseBegin/kPhaseEnd trace events the MD
+/// driver emits to each PE's ring (MachineConfig::trace_events) — the
+/// Fig. 9/10 time-profile source.  Recover spans with
+/// trace::extract_spans(track, EventKind::kPhaseBegin).
+inline constexpr std::uint32_t kPhaseCutoff = 0;  ///< cutoff + integration
+inline constexpr std::uint32_t kPhasePme = 1;     ///< PME work
 
 /// Per-step energy ledger (per PE; sum across PEs for totals).
 struct StepEnergies {
@@ -100,12 +100,6 @@ class ParallelMd {
 
   /// Self energy constant (added once to reported electrostatics).
   double self_energy() const { return self_energy_; }
-
-  /// Busy spans recorded when the machine was built with
-  /// trace_utilization (the Fig. 9/10 profile source).
-  const std::vector<BusySpan>& busy_spans(cvs::PeRank pe) const {
-    return patches_[pe]->busy_spans;
-  }
 
  private:
   struct Patch;
@@ -194,7 +188,6 @@ class ParallelMd {
     m2m::Handle* pot_handle = nullptr;
 
     std::vector<Vec3> recip_force;
-    std::vector<BusySpan> busy_spans;
 
     bool forces_ready = false;
   };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
 #include "verify/schedule_point.hpp"
 
 namespace bgq::pami {
@@ -58,7 +59,10 @@ void CommThreadPool::run(unsigned tid) {
     std::size_t events = 0;
     for (Context* c : mine) events += c->advance();
     sweeps_.fetch_add(1, std::memory_order_relaxed);
-    if (events != 0) continue;
+    if (events != 0) {
+      BGQ_TRACE_EVENT(::bgq::trace::EventKind::kCommAdvance, events);
+      continue;
+    }
 
     // Idle: park on the wakeup gate (emulated `wait` instruction).  The
     // prepare/re-check/commit dance closes the race against a packet that
@@ -72,7 +76,9 @@ void CommThreadPool::run(unsigned tid) {
       continue;
     }
     parks_.fetch_add(1, std::memory_order_relaxed);
+    BGQ_TRACE_EVENT(::bgq::trace::EventKind::kParkBegin, tid);
     gate.commit_wait(seen);
+    BGQ_TRACE_EVENT(::bgq::trace::EventKind::kParkEnd, tid);
   }
 }
 

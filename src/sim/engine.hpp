@@ -15,10 +15,20 @@
 #include <queue>
 #include <vector>
 
+#include "trace/event.hpp"
+#include "trace/ring.hpp"
+
 namespace bgq::sim {
 
 /// Simulated time in microseconds.
 using Time = double;
+
+/// Simulated µs -> trace-clock ns (trace events carry nanoseconds, so a
+/// DES timeline exports through the same Chrome/summary pipeline as the
+/// functional runtime's host-clock events).
+inline std::uint64_t trace_ns(Time t) {
+  return t <= 0 ? 0 : static_cast<std::uint64_t>(t * 1000.0);
+}
 
 /// Minimal event engine: schedule closures at absolute times, run to
 /// drain.  Deterministic: ties break by insertion order.
@@ -35,6 +45,11 @@ class Engine {
 
   Time now() const noexcept { return now_; }
 
+  /// Attach a trace ring: every executed event emits a kSimEvent instant
+  /// stamped with *simulated* time (see trace_ns).  Pass nullptr to
+  /// detach; the unbound engine pays one branch per event.
+  void bind_trace(trace::EventRing* r) noexcept { ring_ = r; }
+
   /// Run until the queue drains (or until `until`); returns final time.
   Time run(Time until = -1.0) {
     while (!queue_.empty()) {
@@ -43,6 +58,11 @@ class Engine {
       now_ = top.t;
       auto fn = std::move(const_cast<Item&>(top).fn);
       queue_.pop();
+      if (ring_) {
+        ring_->emit({trace_ns(now_),
+                     static_cast<std::uint32_t>(queue_.size()),
+                     trace::EventKind::kSimEvent});
+      }
       fn();
     }
     return now_;
@@ -62,18 +82,33 @@ class Engine {
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
+  trace::EventRing* ring_ = nullptr;
 };
 
 /// A serially-serviced resource (a torus link, a core's message pipeline):
 /// work items queue FIFO and each occupies the resource for its duration.
 class Server {
  public:
+  /// Attach a trace ring: each submitted work item emits a kTaskBegin /
+  /// kTaskEnd span at its (simulated) service window, so a server's
+  /// occupancy renders as a track in the Chrome timeline.
+  void bind_trace(trace::EventRing* r, std::uint32_t tag = 0) noexcept {
+    ring_ = r;
+    tag_ = tag;
+  }
+
   /// Submit work that becomes ready at `ready` and needs `duration`.
   /// Returns its completion time.
   Time submit(Time ready, Time duration) {
     const Time begin = ready > available_ ? ready : available_;
     available_ = begin + duration;
     busy_ += duration;
+    if (ring_) {
+      // begin is nondecreasing across submits, so spans emit in timeline
+      // order even though completion times interleave.
+      ring_->emit({trace_ns(begin), tag_, trace::EventKind::kTaskBegin});
+      ring_->emit({trace_ns(available_), tag_, trace::EventKind::kTaskEnd});
+    }
     return available_;
   }
 
@@ -87,6 +122,8 @@ class Server {
  private:
   Time available_ = 0;
   Time busy_ = 0;
+  trace::EventRing* ring_ = nullptr;
+  std::uint32_t tag_ = 0;
 };
 
 }  // namespace bgq::sim

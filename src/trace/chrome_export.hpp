@@ -1,0 +1,131 @@
+// Chrome `trace_event` JSON exporter — the timeline view.
+//
+// Output loads directly into `about://tracing` or https://ui.perfetto.dev:
+// one row (track) per traced thread, named span slices for handler /
+// idle / park / phase / task intervals, instant ticks for the rest, and a
+// `dropped` counter series surfacing ring overflow per track.
+//
+// Format notes (Trace Event Format, "JSON Object Format" flavour):
+//   * `ts` is microseconds; we rebase to the earliest event so the
+//     timeline starts near zero;
+//   * span events are emitted as B/E pairs; the writer enforces stack
+//     discipline per track — an unmatched E is dropped, unmatched Bs are
+//     closed at the track's final timestamp — so a truncated ring (drops
+//     in the middle of a span) still yields a trace every viewer accepts;
+//   * thread naming uses `M` metadata records, the Projections-like
+//     per-PE labels ("pe3", "comm0.1").
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+#include "trace/session.hpp"
+
+namespace bgq::trace {
+
+inline void write_chrome_trace(std::ostream& os, const FlatTrace& trace) {
+  JsonWriter w(os);
+
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const auto& tr : trace.tracks) {
+    for (const auto& e : tr.events) t0 = std::min(t0, e.t_ns);
+  }
+  if (t0 == ~std::uint64_t{0}) t0 = 0;
+  const auto us = [t0](std::uint64_t t_ns) {
+    return static_cast<double>(t_ns - t0) * 1e-3;
+  };
+
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  for (const auto& tr : trace.tracks) {
+    // Track label.
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("name", "thread_name");
+    w.kv("pid", tr.pid);
+    w.kv("tid", tr.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", tr.name);
+    w.end_object();
+    w.end_object();
+
+    auto slice = [&](const char* ph, const Event& e, std::uint64_t at) {
+      w.begin_object();
+      w.kv("ph", ph);
+      w.kv("name", kind_name(e.kind));
+      w.kv("cat", "bgq");
+      w.kv("ts", us(at));
+      w.kv("pid", tr.pid);
+      w.kv("tid", tr.tid);
+      w.key("args");
+      w.begin_object();
+      w.kv("arg", e.arg);
+      w.end_object();
+      w.end_object();
+    };
+
+    std::vector<Event> open;  // span stack for this track
+    std::uint64_t last_ts = t0;
+    for (const Event& e : tr.events) {
+      last_ts = std::max(last_ts, e.t_ns);
+      if (is_begin(e.kind)) {
+        slice("B", e, e.t_ns);
+        open.push_back(e);
+      } else if (is_end(e.kind)) {
+        // Only close what is open (ring drops can orphan an E).
+        if (!open.empty() && end_of(open.back().kind) == e.kind) {
+          slice("E", e, e.t_ns);
+          open.pop_back();
+        }
+      } else {
+        w.begin_object();
+        w.kv("ph", "i");
+        w.kv("name", kind_name(e.kind));
+        w.kv("cat", "bgq");
+        w.kv("s", "t");
+        w.kv("ts", us(e.t_ns));
+        w.kv("pid", tr.pid);
+        w.kv("tid", tr.tid);
+        w.key("args");
+        w.begin_object();
+        w.kv("arg", e.arg);
+        w.end_object();
+        w.end_object();
+      }
+    }
+    // Close anything the ring truncated mid-span.
+    while (!open.empty()) {
+      Event e = open.back();
+      open.pop_back();
+      e.kind = end_of(e.kind);
+      slice("E", e, last_ts);
+    }
+
+    // Drop accounting as a counter series (visible in the viewer even
+    // when zero — absence of loss is information too).
+    w.begin_object();
+    w.kv("ph", "C");
+    w.kv("name", "dropped");
+    w.kv("ts", us(last_ts));
+    w.kv("pid", tr.pid);
+    w.kv("tid", tr.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("events", tr.dropped);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace bgq::trace

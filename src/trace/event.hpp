@@ -1,0 +1,114 @@
+// Trace event model for the Projections-style tracing subsystem.
+//
+// Every instrumented layer — the Converse machine, the lockless queues,
+// the pool allocator, the comm threads, the wakeup gates, and the DES
+// engine — emits the same 16-byte timestamped record into a per-thread
+// ring (ring.hpp).  Exporters (chrome_export.hpp, summary.hpp) consume
+// the flushed streams; nothing here allocates or locks.
+#pragma once
+
+#include <cstdint>
+
+namespace bgq::trace {
+
+/// What happened.  Kinds come in three flavours:
+///   * span begins/ends (paired, nestable per thread) — handler execution,
+///     idle-poll intervals, comm-thread parks, MD phases, DES tasks;
+///   * instants — message enqueue/dequeue, queue overflow spills, alloc
+///     grow/spill, comm-thread advances, gate wakeups, DES event dispatch.
+enum class EventKind : std::uint8_t {
+  // Converse machine layer (runtime-gated by MachineConfig::trace_events).
+  kMsgEnqueue = 0,   ///< instant; arg = destination PE rank
+  kMsgDequeue,       ///< instant; arg = handler id
+  kHandlerBegin,     ///< span; arg = handler id
+  kHandlerEnd,       ///< span; arg = handler id
+  kIdleBegin,        ///< span; idle-poll interval opened
+  kIdleEnd,          ///< span; work found again
+  // Lockless core (compiled in only with -DBGQ_TRACE).
+  kQueueSpill,       ///< instant; lockless ring full, overflow spill
+  kAllocPoolHit,     ///< instant; arg = size class
+  kAllocHeapGrow,    ///< instant; pool empty, buffer from heap; arg = class
+  kAllocHeapSpill,   ///< instant; pool full past threshold; arg = class
+  kCommAdvance,      ///< instant; arg = events serviced in the sweep
+  kParkBegin,        ///< span; comm thread parks on the wakeup gate
+  kParkEnd,          ///< span; comm thread resumed
+  kGateWake,         ///< instant; a producer woke a gate
+  // Application phases (mini-NAMD time profiles, Figs. 3/9/10).
+  kPhaseBegin,       ///< span; arg = phase id (0 cutoff, 1 PME)
+  kPhaseEnd,         ///< span; arg = phase id
+  // Discrete-event simulator (sim/engine.hpp, simulated timestamps).
+  kSimEvent,         ///< instant; one DES dispatch; arg = sequence low bits
+  kTaskBegin,        ///< span; a Server occupancy interval
+  kTaskEnd,          ///< span
+  // Free-form instrumentation from benches/tests.
+  kUser,             ///< instant; meaning of arg is the emitter's business
+};
+
+/// Number of distinct kinds (summary histogram sizing).
+inline constexpr unsigned kEventKindCount =
+    static_cast<unsigned>(EventKind::kUser) + 1;
+
+/// Human-readable kind label (Chrome trace names, summaries).
+inline const char* kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kMsgEnqueue: return "msg.enqueue";
+    case EventKind::kMsgDequeue: return "msg.dequeue";
+    case EventKind::kHandlerBegin:
+    case EventKind::kHandlerEnd: return "handler";
+    case EventKind::kIdleBegin:
+    case EventKind::kIdleEnd: return "idle";
+    case EventKind::kQueueSpill: return "queue.spill";
+    case EventKind::kAllocPoolHit: return "alloc.pool_hit";
+    case EventKind::kAllocHeapGrow: return "alloc.heap_grow";
+    case EventKind::kAllocHeapSpill: return "alloc.heap_spill";
+    case EventKind::kCommAdvance: return "comm.advance";
+    case EventKind::kParkBegin:
+    case EventKind::kParkEnd: return "park";
+    case EventKind::kGateWake: return "gate.wake";
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd: return "phase";
+    case EventKind::kSimEvent: return "sim.event";
+    case EventKind::kTaskBegin:
+    case EventKind::kTaskEnd: return "task";
+    case EventKind::kUser: return "user";
+  }
+  return "?";
+}
+
+/// True for kinds that open a span; `end_of(k)` gives the closing kind.
+inline bool is_begin(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kHandlerBegin:
+    case EventKind::kIdleBegin:
+    case EventKind::kParkBegin:
+    case EventKind::kPhaseBegin:
+    case EventKind::kTaskBegin: return true;
+    default: return false;
+  }
+}
+
+inline bool is_end(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kHandlerEnd:
+    case EventKind::kIdleEnd:
+    case EventKind::kParkEnd:
+    case EventKind::kPhaseEnd:
+    case EventKind::kTaskEnd: return true;
+    default: return false;
+  }
+}
+
+inline EventKind end_of(EventKind begin) noexcept {
+  return static_cast<EventKind>(static_cast<std::uint8_t>(begin) + 1);
+}
+
+/// One trace record.  Timestamps are nanoseconds: host `now_ns()` for the
+/// functional runtime, simulated-time-in-ns for the DES engine — either
+/// way monotone per emitting track, which is all the exporters require.
+struct Event {
+  std::uint64_t t_ns;
+  std::uint32_t arg;
+  EventKind kind;
+};
+
+}  // namespace bgq::trace

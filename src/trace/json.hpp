@@ -1,0 +1,123 @@
+// Minimal streaming JSON writer shared by the trace exporters and the
+// bench `--json` reporter.  Handles comma placement and string escaping;
+// the caller is responsible for well-formed nesting (begin/end pairing),
+// which the exporters keep trivially structured.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace bgq::trace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    string(k);
+    os_ << ':';
+    expect_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    comma();
+    string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      os_ << "null";  // JSON has no Inf/NaN
+      return;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os_ << buf;
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os_ << buf;
+  }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// key + scalar in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    os_ << c;
+    need_comma_.push_back(false);
+  }
+  void close(char c) {
+    os_ << c;
+    need_comma_.pop_back();
+    if (!need_comma_.empty()) need_comma_.back() = true;
+    expect_value_ = false;
+  }
+  void comma() {
+    if (expect_value_) {
+      expect_value_ = false;  // value right after key: no comma
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) os_ << ',';
+      need_comma_.back() = true;
+    }
+  }
+  void string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> need_comma_;
+  bool expect_value_ = false;
+};
+
+}  // namespace bgq::trace

@@ -210,7 +210,7 @@ class LinearizabilityChecker {
     const std::vector<Op>& ops;
     const std::uint64_t node_limit;
     std::uint64_t nodes = 0;
-    std::unordered_set<std::string> memo;
+    std::unordered_set<std::string> memo{};
 
     bool run(std::uint64_t mask, const typename Spec::State& state,
              std::uint64_t full) {

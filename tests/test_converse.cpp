@@ -133,8 +133,7 @@ TEST(Converse, IntraProcessSendIsPointerExchange) {
 
   EXPECT_TRUE(same.load())
       << "same-process delivery must not copy the message";
-  const auto stats = machine.aggregate_stats();
-  EXPECT_GE(stats.intra_process_sends, 1u);
+  EXPECT_GE(machine.metrics().total("pe.sends.intra"), 1u);
 }
 
 TEST(Converse, NetworkSendCountsAndDelivers) {
@@ -155,7 +154,7 @@ TEST(Converse, NetworkSendCountsAndDelivers) {
   });
 
   EXPECT_EQ(got.load(), 10);
-  EXPECT_EQ(machine.aggregate_stats().network_sends, 10u);
+  EXPECT_EQ(machine.metrics().total("pe.sends.network"), 10u);
 }
 
 TEST(Converse, BroadcastReachesEveryPe) {
@@ -257,7 +256,7 @@ TEST(Converse, BarrierAlignsWorkers) {
 
 TEST(Converse, TraceRecordsBusyIntervals) {
   MachineConfig cfg = base_config(Mode::kSmp);
-  cfg.trace_utilization = true;
+  cfg.trace_events = true;
   Machine machine(cfg);
 
   const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
@@ -269,11 +268,19 @@ TEST(Converse, TraceRecordsBusyIntervals) {
     pe.send(1, h, nullptr, 0);
   });
 
-  const auto& trace = machine.pe(1).trace();
-  ASSERT_GE(trace.size(), 2u);
-  EXPECT_TRUE(trace[0].busy);
-  EXPECT_FALSE(trace[1].busy);
-  EXPECT_GE(trace[1].t_ns, trace[0].t_ns);
+  // PE 1 executed the handler: its track must carry a closed handler span
+  // with a sane timestamp order.
+  const auto& flat = machine.trace_session().collect();
+  const bgq::trace::Track* pe1 = nullptr;
+  for (const auto& t : flat.tracks) {
+    if (t.name == "pe1") pe1 = &t;
+  }
+  ASSERT_NE(pe1, nullptr);
+  const auto spans =
+      bgq::trace::extract_spans(*pe1, bgq::trace::EventKind::kHandlerBegin);
+  ASSERT_GE(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg, h);
+  EXPECT_GE(spans[0].t1, spans[0].t0);
 }
 
 TEST(Converse, MessageHeaderRoundTrip) {
