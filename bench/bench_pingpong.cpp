@@ -22,6 +22,7 @@
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "converse/machine.hpp"
+#include "net/fault.hpp"
 
 using namespace bgq;
 
@@ -31,6 +32,22 @@ struct Result {
   double one_way_us = 0;
   double wire_us = 0;
 };
+
+/// `--faults[=spec]`: chaos plan applied to every machine in the run.
+net::FaultPlan g_faults;
+
+/// Reliability/fault counters accumulated across every machine, emitted in
+/// the JSON report unconditionally — all zeros on a lossless run, so CI
+/// can assert both the schema and the fault-free fast path.
+constexpr const char* kNetKeys[] = {
+    "net.drops",          "net.dups",
+    "net.delays",         "net.bitflips",
+    "net.fifo.rejects",   "net.fifo.spills",
+    "net.retransmits",    "net.dup_acks",
+    "net.acks.piggybacked", "net.acks.standalone",
+    "net.corrupt_drops",  "net.dedup_drops",
+    "comm.backpressure_stalls"};
+std::uint64_t g_net[std::size(kNetKeys)] = {};
 
 /// Ping-pong between PE 0 and a peer; returns median one-way latency.
 /// `near_peer`: PE 1 (same process in SMP modes, the second process on
@@ -83,6 +100,11 @@ Result run_pingpong(cvs::MachineConfig cfg, std::size_t bytes, int rounds,
     r.wire_us = fab.params().wire_time_ns(bytes + 16, hops) * 1e-3;
   }
   r.one_way_us = rtts.median() / 2.0 + r.wire_us;
+
+  const trace::Report rep = machine.metrics_report();
+  for (std::size_t i = 0; i < std::size(kNetKeys); ++i) {
+    g_net[i] += rep.value(kNetKeys[i]);
+  }
   return r;
 }
 
@@ -93,6 +115,7 @@ cvs::MachineConfig mode_config(cvs::Mode mode) {
   cfg.workers_per_process = 2;
   cfg.processes_per_node = 1;
   cfg.comm_threads = 1;
+  cfg.faults = g_faults;
   return cfg;
 }
 
@@ -100,6 +123,18 @@ cvs::MachineConfig mode_config(cvs::Mode mode) {
 
 int main(int argc, char** argv) {
   bench::JsonReport json = bench::parse_args(argc, argv, "bench_pingpong");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      g_faults = net::FaultPlan::parse("drop=0.01,dup=0.01,delay=0.02,"
+                                       "seed=1234");
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      g_faults = net::FaultPlan::parse(argv[i] + 9);
+    }
+  }
+  if (g_faults.enabled()) {
+    std::printf("** chaos plan active: latencies include ack/retransmit "
+                "overhead **\n");
+  }
   std::printf("== Figure 4: one-way latency to neighbouring node ==\n");
   std::printf("paper anchors (<32B): nonSMP 2.9us, SMP 3.3us, "
               "SMP+comm 3.7us; modes converge above 16KB\n\n");
@@ -148,5 +183,8 @@ int main(int argc, char** argv) {
     json.add("fig5.same_smp_ct.us." + sz, iic.one_way_us);
   }
   fig5.print();
+  for (std::size_t i = 0; i < std::size(kNetKeys); ++i) {
+    json.add(kNetKeys[i], g_net[i]);
+  }
   return json.write();
 }

@@ -5,7 +5,9 @@
 #include <cstdint>
 
 #include "common/spin.hpp"
+#include "net/fault.hpp"
 #include "net/params.hpp"
+#include "pami/reliability.hpp"
 
 namespace bgq::cvs {
 
@@ -63,6 +65,27 @@ struct MachineConfig {
   std::size_t trace_ring_events = 1 << 14;
 
   net::NetworkParams net{};
+
+  /// Fault-injection plan for the fabric (chaos testing; net/fault.hpp).
+  /// Disabled by default.  When left disabled, the machine consults the
+  /// BGQ_FAULT_PLAN environment variable instead, so an existing binary's
+  /// whole run can be made faulty from the outside.
+  net::FaultPlan faults{};
+
+  /// Force the PAMI ack/retransmit reliability protocol on even without
+  /// faults (to measure protocol overhead on a lossless fabric).  It is
+  /// auto-enabled whenever a fault plan is active — the runtime cannot
+  /// survive drops without it.
+  bool reliable = false;
+
+  /// Reliability tuning (windows, timeouts; pami/reliability.hpp).
+  pami::ReliabilityParams reliability{};
+
+  /// Lockless-ring capacity of each reception FIFO, in packets.  Beyond
+  /// it, deliveries spill to a mutex-protected overflow queue (counted as
+  /// net.fifo.spills) — or are refused outright under
+  /// FaultPlan::reject_on_full.
+  std::size_t rec_fifo_capacity = 4096;
 
   // ---- derived ----------------------------------------------------------
   unsigned effective_processes_per_node() const {

@@ -171,7 +171,7 @@ void Pe::scheduler_loop() {
 
 void Pe::exit_all() { machine().request_stop(); }
 
-void Pe::barrier() { machine().worker_barrier(); }
+void Pe::barrier() { machine().worker_barrier(this); }
 
 // ---------------------------------------------------------------------------
 // Process
@@ -192,6 +192,7 @@ Process::Process(Machine& machine, pami::EndpointId endpoint)
 
   client_ = std::make_unique<pami::Client>(machine.fabric(), endpoint,
                                            cfg.contexts_per_process());
+  if (cfg.reliable) client_->enable_reliability(cfg.reliability);
   register_dispatches();
 
   pes_.reserve(workers);
@@ -376,7 +377,15 @@ Machine::Machine(MachineConfig cfg)
   ids_.busy_ns = metrics_.intern("pe.busy_ns");
   fabric_ = std::make_unique<net::Fabric>(
       torus_, cfg_.net, cfg_.contexts_per_process(),
-      cfg_.effective_processes_per_node());
+      cfg_.effective_processes_per_node(), cfg_.rec_fifo_capacity);
+  // Chaos layer: an explicit plan in the config wins; otherwise the
+  // BGQ_FAULT_PLAN environment variable lets any existing run go faulty.
+  const net::FaultPlan plan =
+      cfg_.faults.enabled() ? cfg_.faults : net::FaultPlan::from_env();
+  if (plan.enabled()) {
+    fabric_->set_fault_plan(plan);
+    cfg_.reliable = true;  // the runtime cannot survive drops without it
+  }
   const std::size_t nproc = cfg_.process_count();
   processes_.reserve(nproc);
   for (std::size_t p = 0; p < nproc; ++p) {
@@ -394,12 +403,27 @@ HandlerId Machine::register_handler(HandlerFn fn) {
   return static_cast<HandlerId>(handlers_.size() - 1);
 }
 
-void Machine::worker_barrier() { barrier_->arrive_and_wait(); }
+void Machine::worker_barrier(Pe* self) {
+  // Sense-reversing barrier that keeps the caller's network progressing.
+  // A PE parked in a blocking barrier could never run its reliability
+  // retransmit timer; on a faulty fabric, peers still waiting on a dropped
+  // message from that PE would then wait forever.
+  const std::uint64_t phase = barrier_phase_.load(std::memory_order_acquire);
+  if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      pe_count()) {
+    barrier_arrived_.store(0, std::memory_order_relaxed);
+    barrier_phase_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  pami::Context* ctx = self != nullptr ? self->owned_context() : nullptr;
+  while (barrier_phase_.load(std::memory_order_acquire) == phase) {
+    if (ctx != nullptr) ctx->advance();
+    std::this_thread::yield();
+  }
+}
 
 void Machine::run(const std::function<void(Pe&)>& init) {
   stop_.store(false, std::memory_order_release);
-  barrier_ = std::make_unique<std::barrier<>>(
-      static_cast<std::ptrdiff_t>(pe_count()));
 
   const unsigned commthreads = cfg_.effective_comm_threads();
   if (commthreads != 0) {
@@ -414,7 +438,7 @@ void Machine::run(const std::function<void(Pe&)>& init) {
       workers.emplace_back([this, pe, w, &init] {
         Process::set_current_tid(w);
         trace::Session::bind_thread(pe->ring_);
-        worker_barrier();  // everyone exists before any traffic flows
+        worker_barrier(pe);  // everyone exists before any traffic flows
         init(*pe);
         pe->scheduler_loop();
       });
@@ -461,6 +485,38 @@ trace::Report Machine::metrics_report() {
     metrics_.set_gauge("comm.sweeps", sweeps);
     metrics_.set_gauge("comm.parks", parks);
   }
+
+  // Fault-injection and reliability counters: emitted unconditionally —
+  // all zeros on a lossless run — so dashboards and the bench JSON schema
+  // see a stable key set whether or not chaos was enabled.
+  metrics_.set_gauge("net.drops", fabric_->faults_dropped());
+  metrics_.set_gauge("net.dups", fabric_->faults_duplicated());
+  metrics_.set_gauge("net.delays", fabric_->faults_delayed());
+  metrics_.set_gauge("net.bitflips", fabric_->faults_corrupted());
+  metrics_.set_gauge("net.fifo.rejects", fabric_->fifo_rejects());
+  metrics_.set_gauge("net.fifo.spills", fabric_->fifo_spills());
+  std::uint64_t retx = 0, dup_acks = 0, piggy = 0, alone = 0;
+  std::uint64_t corrupt = 0, dedup = 0, stalls = 0;
+  for (const auto& proc : processes_) {
+    pami::Client& cl = proc->client();
+    for (unsigned i = 0; i < cl.context_count(); ++i) {
+      const pami::Context& ctx = cl.context(i);
+      retx += ctx.retransmits();
+      dup_acks += ctx.dup_acks();
+      piggy += ctx.piggybacked_acks();
+      alone += ctx.standalone_acks();
+      corrupt += ctx.corrupt_drops();
+      dedup += ctx.dedup_drops();
+      stalls += ctx.backpressure_stalls();
+    }
+  }
+  metrics_.set_gauge("net.retransmits", retx);
+  metrics_.set_gauge("net.dup_acks", dup_acks);
+  metrics_.set_gauge("net.acks.piggybacked", piggy);
+  metrics_.set_gauge("net.acks.standalone", alone);
+  metrics_.set_gauge("net.corrupt_drops", corrupt);
+  metrics_.set_gauge("net.dedup_drops", dedup);
+  metrics_.set_gauge("comm.backpressure_stalls", stalls);
   return metrics_.report();
 }
 

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -248,8 +247,12 @@ class Machine {
     stop_.store(true, std::memory_order_release);
   }
 
-  /// Worker barrier: callable only from PE threads during run().
-  void worker_barrier();
+  /// Worker barrier: callable only from PE threads during run().  Pass the
+  /// calling PE so the barrier can keep advancing its PAMI context while
+  /// waiting — a PE blocked without network progress could never
+  /// retransmit, which deadlocks barrier-synchronized apps on a lossy
+  /// fabric (the reason this is not a std::barrier).
+  void worker_barrier(Pe* self = nullptr);
 
   // ---- tracing & metrics (src/trace/) ------------------------------------
 
@@ -280,7 +283,10 @@ class Machine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<HandlerFn> handlers_;
   std::atomic<bool> stop_{false};
-  std::unique_ptr<std::barrier<>> barrier_;
+
+  // Sense-reversing worker barrier (see worker_barrier).
+  std::atomic<std::size_t> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_phase_{0};
 };
 
 }  // namespace bgq::cvs

@@ -2,11 +2,33 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::net {
 
+/// Chaos-layer state.  All fault decisions are serialized on `mu` so the
+/// seeded PRNG stream — and therefore the whole fault schedule — is a
+/// deterministic function of the injection order.
+struct Fabric::FaultState {
+  struct Delayed {
+    Packet* p = nullptr;
+    unsigned ttl = 0;  ///< matures when this many injects have passed
+  };
+
+  explicit FaultState(const FaultPlan& pl) : plan(pl), rng(pl.seed) {}
+
+  FaultPlan plan;
+  Xoshiro256 rng;
+  std::vector<Delayed> delayed;
+  std::mutex mu;
+};
+
 Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
-               unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node)
+               unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node,
+               std::size_t fifo_capacity)
     : torus_(torus),
       params_(params),
       fifos_per_node_(rec_fifos_per_endpoint),
@@ -17,14 +39,22 @@ Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
   if (endpoints_per_node == 0) {
     throw std::invalid_argument("need at least one endpoint per node");
   }
+  if (fifo_capacity == 0) {
+    throw std::invalid_argument("reception FIFO capacity must be > 0");
+  }
   fifos_.reserve(endpoint_count() * fifos_per_node_);
   for (std::size_t i = 0; i < endpoint_count() * fifos_per_node_; ++i) {
-    fifos_.push_back(std::make_unique<ReceptionFifo>());
+    fifos_.push_back(std::make_unique<ReceptionFifo>(fifo_capacity));
   }
 }
 
 Fabric::~Fabric() {
-  // Drain any undelivered packets so leak checkers stay clean.
+  // Drain any undelivered packets so leak checkers stay clean — including
+  // delayed packets the chaos layer was still holding.
+  if (faults_ != nullptr) {
+    for (auto& d : faults_->delayed) delete d.p;
+    faults_->delayed.clear();
+  }
   for (auto& f : fifos_) {
     while (Packet* p = f->poll()) delete p;
   }
@@ -33,6 +63,16 @@ Fabric::~Fabric() {
 ReceptionFifo& Fabric::reception_fifo(topo::NodeId node, unsigned fifo) {
   return *fifos_[static_cast<std::size_t>(node) * fifos_per_node_ +
                  (fifo % fifos_per_node_)];
+}
+
+void Fabric::set_fault_plan(const FaultPlan& plan) {
+  faults_ = plan.enabled() ? std::make_unique<FaultState>(plan) : nullptr;
+}
+
+std::uint64_t Fabric::fifo_spills() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& f : fifos_) total += f->spills();
+  return total;
 }
 
 void Fabric::inject(Packet* p) {
@@ -50,10 +90,30 @@ void Fabric::inject(Packet* p) {
   net_packets_.fetch_add(p->num_packets, std::memory_order_relaxed);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
+  if (faults_ != nullptr) {
+    inject_faulty(p);
+  } else {
+    deliver_packet(p);
+  }
+}
+
+void Fabric::deliver_packet(Packet* p) {
   switch (p->kind) {
-    case TransferKind::kMemFifo:
-      reception_fifo(p->dst, p->rec_fifo).deliver(p);
+    case TransferKind::kMemFifo: {
+      ReceptionFifo& fifo = reception_fifo(p->dst, p->rec_fifo);
+      if (faults_ != nullptr && faults_->plan.reject_on_full) {
+        // Overload mode: a full FIFO refuses the packet outright.  The
+        // sender's reliability layer sees the missing ack and retransmits
+        // — refusal becomes backpressure, not loss.
+        if (!fifo.try_deliver(p)) {
+          rejects_.fetch_add(1, std::memory_order_relaxed);
+          delete p;
+        }
+      } else {
+        fifo.deliver(p);
+      }
       break;
+    }
     case TransferKind::kRdmaRead:
     case TransferKind::kRdmaWrite:
       // Same address space: perform the MU's DMA copy here, then deliver
@@ -64,6 +124,74 @@ void Fabric::inject(Packet* p) {
       reception_fifo(p->dst, p->rec_fifo).deliver(p);
       break;
   }
+}
+
+void Fabric::inject_faulty(Packet* p) {
+  FaultState& fs = *faults_;
+
+  // Decisions under the lock; deliveries outside it (delivery can contend
+  // on the destination FIFO's overflow mutex or wake a sleeping thread).
+  std::vector<Packet*> deliver_now;
+  Packet* dup = nullptr;
+
+  BGQ_SCHED_BLOCK_BEGIN();
+  {
+    std::lock_guard<std::mutex> lock(fs.mu);
+
+    // Every inject ages the held-back packets; matured ones re-enter
+    // delivery *after* the current packet, which is the reordering.
+    for (std::size_t i = 0; i < fs.delayed.size();) {
+      if (--fs.delayed[i].ttl == 0) {
+        deliver_now.push_back(fs.delayed[i].p);
+        fs.delayed[i] = fs.delayed.back();
+        fs.delayed.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Faults touch mem-FIFO transfers only (see net/fault.hpp): the RDMA
+    // kinds model the MU's DMA engine, which the runtime trusts.
+    if (p != nullptr && p->kind == TransferKind::kMemFifo) {
+      const FaultPlan& plan = fs.plan;
+      if (plan.bitflip > 0.0 && fs.rng.uniform() < plan.bitflip) {
+        // Flip one bit somewhere the receiver will look: payload first,
+        // metadata next, the checksum field as a last resort.
+        bitflips_.fetch_add(1, std::memory_order_relaxed);
+        if (!p->payload.empty()) {
+          const std::uint64_t bit = fs.rng.below(p->payload.size() * 8);
+          p->payload[bit / 8] ^= std::byte{1} << (bit % 8);
+        } else if (!p->metadata.empty()) {
+          const std::uint64_t bit = fs.rng.below(p->metadata.size() * 8);
+          p->metadata[bit / 8] ^= std::byte{1} << (bit % 8);
+        } else {
+          p->checksum ^= 1ull << fs.rng.below(64);
+        }
+      }
+      if (plan.drop > 0.0 && fs.rng.uniform() < plan.drop) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        delete p;
+        p = nullptr;
+      }
+      if (p != nullptr && plan.duplicate > 0.0 &&
+          fs.rng.uniform() < plan.duplicate) {
+        dups_.fetch_add(1, std::memory_order_relaxed);
+        dup = new Packet(*p);
+      }
+      if (p != nullptr && plan.delay > 0.0 && fs.rng.uniform() < plan.delay) {
+        delays_.fetch_add(1, std::memory_order_relaxed);
+        const unsigned ttl = static_cast<unsigned>(
+            1 + fs.rng.below(fs.plan.max_delay_injects));
+        fs.delayed.push_back({p, ttl});
+        p = nullptr;
+      }
+    }
+  }
+  BGQ_SCHED_BLOCK_END();
+
+  if (p != nullptr) deliver_packet(p);
+  if (dup != nullptr) deliver_packet(dup);
+  for (Packet* m : deliver_now) deliver_packet(m);
 }
 
 }  // namespace bgq::net

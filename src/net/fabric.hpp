@@ -19,8 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
 #include "queue/l2_atomic_queue.hpp"
@@ -36,16 +38,31 @@ class ReceptionFifo {
   explicit ReceptionFifo(std::size_t capacity = 4096)
       : q_(capacity), active_gate_(&gate_) {}
 
-  /// Fabric side.
+  /// Fabric side.  Lossless: a full lockless ring spills to the queue's
+  /// mutex-protected overflow (counted — see spills()).
   void deliver(Packet* p) {
-    q_.enqueue(p);
+    if (!q_.enqueue(p)) spills_.fetch_add(1, std::memory_order_relaxed);
     active_gate_.load(std::memory_order_acquire)->wake();
+  }
+
+  /// Fabric side, overload mode (FaultPlan::reject_on_full): enqueue only
+  /// if the lockless ring has room.  Returns false — packet refused, still
+  /// owned by the caller — when the FIFO is full.
+  bool try_deliver(Packet* p) {
+    if (!q_.try_enqueue(p)) return false;
+    active_gate_.load(std::memory_order_acquire)->wake();
+    return true;
   }
 
   /// Polling side (single consumer: the owning context).
   Packet* poll() { return q_.try_dequeue(); }
 
   bool empty() const { return q_.empty(); }
+
+  /// Deliveries that missed the lockless ring and took the overflow path.
+  std::uint64_t spills() const noexcept {
+    return spills_.load(std::memory_order_relaxed);
+  }
 
   /// Gate a comm thread parks on while this FIFO is empty.
   wakeup::WaitGate& gate() {
@@ -64,6 +81,7 @@ class ReceptionFifo {
   queue::L2AtomicQueue<Packet*> q_;
   wakeup::WaitGate gate_;
   std::atomic<wakeup::WaitGate*> active_gate_;
+  std::atomic<std::uint64_t> spills_{0};
 };
 
 /// The whole-machine fabric for functional runs.
@@ -77,9 +95,11 @@ class Fabric {
  public:
   /// `rec_fifos_per_node`: one per PAMI context, so each context polls its
   /// own FIFO without locks (BG/Q provides 272 per node; we allocate what
-  /// the runtime asks for).
+  /// the runtime asks for).  `fifo_capacity` sizes each reception FIFO's
+  /// lockless ring (MachineConfig::rec_fifo_capacity plumbs it through).
   Fabric(const topo::Torus& torus, NetworkParams params,
-         unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node = 1);
+         unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node = 1,
+         std::size_t fifo_capacity = 4096);
   ~Fabric();
 
   Fabric(const Fabric&) = delete;
@@ -107,6 +127,14 @@ class Fabric {
 
   ReceptionFifo& reception_fifo(topo::NodeId node, unsigned fifo);
 
+  // ---- fault injection (net/fault.hpp) ----------------------------------
+
+  /// Install (or, with a disabled plan, remove) the chaos layer.  Call
+  /// before traffic flows; the faulty path serializes injections on a
+  /// mutex, the default lossless path is untouched.
+  void set_fault_plan(const FaultPlan& plan);
+  bool faults_enabled() const noexcept { return faults_ != nullptr; }
+
   // ---- statistics -------------------------------------------------------
   std::uint64_t transfers() const noexcept {
     return transfers_.load(std::memory_order_relaxed);
@@ -118,7 +146,34 @@ class Fabric {
     return bytes_.load(std::memory_order_relaxed);
   }
 
+  // Injected-fault counters (all zero without a plan).
+  std::uint64_t faults_dropped() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faults_duplicated() const noexcept {
+    return dups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faults_delayed() const noexcept {
+    return delays_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t faults_corrupted() const noexcept {
+    return bitflips_.load(std::memory_order_relaxed);
+  }
+  /// Deliveries refused by a full FIFO (reject_on_full overload mode).
+  std::uint64_t fifo_rejects() const noexcept {
+    return rejects_.load(std::memory_order_relaxed);
+  }
+  /// Deliveries that took a FIFO's overflow path, summed over all FIFOs.
+  std::uint64_t fifo_spills() const noexcept;
+
  private:
+  struct FaultState;
+
+  /// Terminal delivery (post-fault stage): RDMA copy + FIFO handoff.
+  void deliver_packet(Packet* p);
+  /// The chaos path: mature delayed packets, roll the dice on `p`.
+  void inject_faulty(Packet* p);
+
   const topo::Torus torus_;
   const NetworkParams params_;
   const unsigned fifos_per_node_;
@@ -127,9 +182,16 @@ class Fabric {
   // fifos_[endpoint * fifos_per_node_ + fifo]; ReceptionFifo is immovable.
   std::vector<std::unique_ptr<ReceptionFifo>> fifos_;
 
+  std::unique_ptr<FaultState> faults_;
+
   std::atomic<std::uint64_t> transfers_{0};
   std::atomic<std::uint64_t> net_packets_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> dups_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> bitflips_{0};
+  std::atomic<std::uint64_t> rejects_{0};
 };
 
 }  // namespace bgq::net

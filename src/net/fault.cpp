@@ -1,0 +1,89 @@
+#include "net/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bgq::net {
+
+namespace {
+
+double parse_prob(const std::string& key, const std::string& val) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(val, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != val.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FaultPlan: bad probability for '" + key +
+                                "': " + val);
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& val) {
+  std::size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(val, &used, 0);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != val.size()) {
+    throw std::invalid_argument("FaultPlan: bad integer for '" + key +
+                                "': " + val);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("FaultPlan: expected key=value, got '" +
+                                  std::string(item) + "'");
+    }
+    const std::string key(item.substr(0, eq));
+    const std::string val(item.substr(eq + 1));
+    if (key == "drop") {
+      plan.drop = parse_prob(key, val);
+    } else if (key == "dup") {
+      plan.duplicate = parse_prob(key, val);
+    } else if (key == "delay") {
+      plan.delay = parse_prob(key, val);
+    } else if (key == "bitflip") {
+      plan.bitflip = parse_prob(key, val);
+    } else if (key == "maxdelay") {
+      const std::uint64_t v = parse_u64(key, val);
+      if (v == 0) throw std::invalid_argument("FaultPlan: maxdelay >= 1");
+      plan.max_delay_injects = static_cast<unsigned>(v);
+    } else if (key == "reject") {
+      plan.reject_on_full = parse_u64(key, val) != 0;
+    } else if (key == "seed") {
+      plan.seed = parse_u64(key, val);
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("BGQ_FAULT_PLAN");
+  if (env == nullptr || *env == '\0') return FaultPlan{};
+  return parse(env);
+}
+
+}  // namespace bgq::net

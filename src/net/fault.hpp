@@ -1,0 +1,66 @@
+// Fault injection for the in-process fabric (chaos layer).
+//
+// The BG/Q Messaging Unit is lossless, and so is the emulated fabric by
+// default.  Production message-driven runtimes cannot assume that: links
+// drop, routers reorder, DRAM flips bits, and reception FIFOs overflow
+// under bursts.  A FaultPlan makes the emulated fabric misbehave in all of
+// those ways — deterministically, from a seeded PRNG — so the reliability
+// protocol in the PAMI layer (seq numbers, acks, retransmits, checksums)
+// can be exercised and measured.
+//
+// Faults apply to memory-FIFO transfers only: the RDMA kinds model the
+// MU's DMA engine, whose transfers the runtime treats as hardware-reliable
+// (their loss would tear the emulated one-sided copy itself, not a
+// message).  The rendezvous protocol is still covered end to end because
+// its request and ack legs are mem-FIFO sends.
+//
+// Plans can also be supplied via the BGQ_FAULT_PLAN environment variable
+// ("drop=0.01,dup=0.01,delay=0.02,bitflip=0.001,seed=7"), which the
+// Converse machine layer picks up so the whole existing test suite can run
+// over a faulty fabric without editing a single test.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bgq::net {
+
+/// Per-transfer fault probabilities and knobs.  All probabilities are per
+/// injected mem-FIFO transfer, rolled independently in the order
+/// bit-flip, drop, duplicate, delay.
+struct FaultPlan {
+  double drop = 0.0;       ///< P(transfer vanishes)
+  double duplicate = 0.0;  ///< P(transfer delivered twice)
+  double delay = 0.0;      ///< P(held back behind 1..max_delay_injects
+                           ///< later transfers — reordering)
+  double bitflip = 0.0;    ///< P(one payload/metadata bit flips in flight)
+
+  /// A delayed transfer re-enters delivery after this many subsequent
+  /// inject() calls at the latest (uniform in [1, max_delay_injects]).
+  unsigned max_delay_injects = 8;
+
+  /// Overload mode: deliver into a reception FIFO only if the lockless
+  /// ring has room — a full FIFO *refuses* the packet (counted as a
+  /// reject) instead of spilling to the unbounded overflow queue.  The
+  /// reliability layer's retransmit turns refusal into backpressure.
+  bool reject_on_full = false;
+
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+
+  bool enabled() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || bitflip > 0.0 ||
+           reject_on_full;
+  }
+
+  /// Parse "drop=0.01,dup=0.01,delay=0.02,bitflip=0.001,maxdelay=8,
+  /// reject=1,seed=7".  Unknown keys or malformed values throw
+  /// std::invalid_argument; an empty spec is a disabled plan.
+  static FaultPlan parse(std::string_view spec);
+
+  /// The BGQ_FAULT_PLAN environment override, or a disabled plan when the
+  /// variable is unset.  A malformed value throws (fail loudly: a typo'd
+  /// chaos run must not silently test nothing).
+  static FaultPlan from_env();
+};
+
+}  // namespace bgq::net

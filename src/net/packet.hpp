@@ -30,6 +30,14 @@ struct MemRegion {
   std::size_t bytes = 0;
 };
 
+/// Reliability-protocol packet flags (net/fault.hpp, pami reliability).
+/// Zero on every packet unless the sending client enabled reliability, so
+/// the lossless fast path carries no protocol state.
+enum PacketFlag : std::uint8_t {
+  kPktReliable = 1u << 0,  ///< carries a sequence number; must be acked
+  kPktAck = 1u << 1,       ///< standalone ack: `acks` only, no dispatch
+};
+
 /// One transfer in flight.  Owned by the fabric between inject() and
 /// delivery; memory-FIFO transfers are then owned by the receiver until it
 /// calls Packet::release().
@@ -66,9 +74,56 @@ struct Packet {
   /// Number of 512-byte network packets this transfer consumed.
   std::uint32_t num_packets = 0;
 
+  // ---- reliability protocol fields (all zero/empty unless the sender's
+  // client enabled reliability; see pami/reliability.hpp) ----------------
+
+  /// Protocol flags (PacketFlag bits).
+  std::uint8_t flags = 0;
+
+  /// Sending context index at the source endpoint: (src, src_ctx) names
+  /// the sender half of the channel the seq number lives in.
+  std::uint16_t src_ctx = 0;
+
+  /// Per-channel sequence number (1-based; 0 = unsequenced).
+  std::uint64_t seq = 0;
+
+  /// End-to-end checksum over addressing, metadata, payload, and acks —
+  /// computed by the sender, verified by the receiver.  Catches in-flight
+  /// bit flips (FaultPlan::bitflip).
+  std::uint64_t checksum = 0;
+
+  /// Piggybacked (or, with kPktAck, standalone) acknowledged seqs for the
+  /// reverse direction of the channel.
+  std::vector<std::uint64_t> acks;
+
   std::size_t payload_bytes() const noexcept {
     return kind == TransferKind::kMemFifo ? payload.size() : rdma_bytes;
   }
 };
+
+/// FNV-1a over everything the receiver acts on: addressing, protocol
+/// fields, metadata, payload, and the piggybacked acks.  The checksum
+/// field itself is excluded (it holds the result).
+inline std::uint64_t packet_checksum(const Packet& p) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](const void* data, std::size_t n) noexcept {
+    const auto* b = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(&p.src, sizeof(p.src));
+  mix(&p.dst, sizeof(p.dst));
+  mix(&p.dispatch, sizeof(p.dispatch));
+  mix(&p.rec_fifo, sizeof(p.rec_fifo));
+  mix(&p.flags, sizeof(p.flags));
+  mix(&p.src_ctx, sizeof(p.src_ctx));
+  mix(&p.seq, sizeof(p.seq));
+  mix(p.metadata.data(), p.metadata.size());
+  mix(p.payload.data(), p.payload.size());
+  for (const std::uint64_t a : p.acks) mix(&a, sizeof(a));
+  return h;
+}
 
 }  // namespace bgq::net

@@ -43,6 +43,12 @@ void CommThreadPool::stop() {
   for (Context* c : contexts_) c->bind_gate(nullptr);
 }
 
+namespace {
+// Park deadline while reliability timers are armed — half the default
+// initial RTO, so a retransmit is at most one park late.
+constexpr std::uint64_t kTimerParkNs = 100'000;
+}  // namespace
+
 void CommThreadPool::run(unsigned tid) {
   if (thread_init_) thread_init_(tid);
   wakeup::WaitGate& gate = *gates_[tid];
@@ -77,7 +83,16 @@ void CommThreadPool::run(unsigned tid) {
     }
     parks_.fetch_add(1, std::memory_order_relaxed);
     BGQ_TRACE_EVENT(::bgq::trace::EventKind::kParkBegin, tid);
-    gate.commit_wait(seen);
+    // With reliability timers armed (unacked packets / a backpressure
+    // backlog on a context we advance) the park must have a deadline: a
+    // lost ack never produces a wake(), only a retransmit timeout.
+    bool timers = false;
+    for (Context* c : mine) timers = timers || c->has_timers();
+    if (timers) {
+      gate.commit_wait_for(seen, kTimerParkNs);
+    } else {
+      gate.commit_wait(seen);
+    }
     BGQ_TRACE_EVENT(::bgq::trace::EventKind::kParkEnd, tid);
   }
 }

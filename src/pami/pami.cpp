@@ -1,7 +1,11 @@
 #include "pami/pami.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+
+#include "common/timing.hpp"
+#include "verify/schedule_point.hpp"
 
 namespace bgq::pami {
 
@@ -11,6 +15,13 @@ namespace bgq::pami {
 
 Context::Context(Client& client, std::uint16_t index)
     : client_(client), index_(index), work_(1024) {}
+
+Context::~Context() {
+  for (auto& [key, ch] : chans_) {
+    for (auto& pend : ch.pending) delete pend.copy;
+  }
+  for (net::Packet* p : backlog_) delete p;
+}
 
 net::ReceptionFifo& Context::fifo() {
   return client_.fabric().reception_fifo(client_.endpoint(), index_);
@@ -44,7 +55,11 @@ void Context::send_immediate(const SendParams& p) {
   // bookkeeping — minimal overhead, as on hardware.
   auto* pkt = new net::Packet();
   fill_common(*pkt, client_.endpoint(), p);
-  client_.fabric().inject(pkt);
+  if (client_.reliable()) {
+    reliable_submit(pkt);
+  } else {
+    client_.fabric().inject(pkt);
+  }
   ++imm_sends_;
   if (p.local_done) p.local_done();
 }
@@ -56,7 +71,11 @@ void Context::send(const SendParams& p) {
   // distinguish.
   auto* pkt = new net::Packet();
   fill_common(*pkt, client_.endpoint(), p);
-  client_.fabric().inject(pkt);
+  if (client_.reliable()) {
+    reliable_submit(pkt);
+  } else {
+    client_.fabric().inject(pkt);
+  }
   ++sends_;
   if (p.local_done) p.local_done();
 }
@@ -96,6 +115,10 @@ void Context::rput(EndpointId remote, std::byte* remote_dst,
 
 void Context::process(net::Packet* p) {
   if (p->kind == net::TransferKind::kMemFifo) {
+    // Sequenced / ack packets first pass through the reliability layer,
+    // which consumes (and frees) corrupted, duplicate, and pure-ack
+    // packets; only fresh data falls through to dispatch.
+    if (p->flags != 0 && !reliable_receive(p)) return;
     const DispatchFn& fn = client_.dispatch(p->dispatch);
     if (!fn) {
       delete p;
@@ -134,7 +157,199 @@ std::size_t Context::advance(std::size_t max_events) {
     }
     break;
   }
+  // Timers and queues of the reliability layer: drain the backpressure
+  // backlog, retransmit expired packets, flush owed acks.  A no-op (and
+  // zero added events) unless the client enabled reliability.
+  events += reliability_tick();
   return events;
+}
+
+// ---------------------------------------------------------------------------
+// Context: reliability protocol (see pami/reliability.hpp for the sketch).
+// All of this runs on the context's advancing thread — the PAMI thread
+// contract already serializes it, so no locks.
+// ---------------------------------------------------------------------------
+
+Context::Channel& Context::channel(EndpointId ep, std::uint16_t ctx) {
+  return chans_[(static_cast<std::uint64_t>(ep) << 16) | ctx];
+}
+
+void Context::reliable_submit(net::Packet* pkt) {
+  pkt->flags |= net::kPktReliable;
+  pkt->src_ctx = index_;
+  Channel& ch = channel(pkt->dst, pkt->rec_fifo);
+  const ReliabilityParams& rp = client_.reliability();
+  // Backpressure: a full retransmit window (or an already-backed-up
+  // backlog — keep submission order) queues the send locally instead of
+  // overrunning the peer.  advance() drains as acks free window slots.
+  if (!backlog_.empty() || ch.pending.size() >= rp.window) {
+    if (backlog_.size() >= rp.backlog_max) {
+      delete pkt;
+      throw std::runtime_error(
+          "pami reliability: backpressure backlog overflow "
+          "(application is outrunning the network)");
+    }
+    backlog_.push_back(pkt);
+    ++stalls_;
+    return;
+  }
+  transmit(ch, pkt);
+}
+
+void Context::transmit(Channel& ch, net::Packet* pkt) {
+  const ReliabilityParams& rp = client_.reliability();
+  pkt->seq = ch.next_seq++;
+  // Piggyback acks owed to this same peer on the outgoing data packet.
+  const std::size_t take = std::min(rp.max_piggyback, ch.owed_acks.size());
+  if (take != 0) {
+    pkt->acks.assign(ch.owed_acks.end() - static_cast<std::ptrdiff_t>(take),
+                     ch.owed_acks.end());
+    ch.owed_acks.resize(ch.owed_acks.size() - take);
+    owed_total_ -= take;
+    acks_piggy_ += take;
+  }
+  pkt->checksum = net::packet_checksum(*pkt);
+  // The retransmit buffer keeps a private copy: the fabric owns (and may
+  // corrupt, drop, or free) the injected original.
+  auto* copy = new net::Packet(*pkt);
+  ch.pending.push_back(
+      Pending{pkt->seq, copy, now_ns() + rp.rto_ns, rp.rto_ns, 0});
+  ++outstanding_;
+  BGQ_SCHED_POINT("pami.rel.transmit");
+  client_.fabric().inject(pkt);
+}
+
+void Context::ack_one(Channel& ch, std::uint64_t seq) {
+  for (std::size_t i = 0; i < ch.pending.size(); ++i) {
+    if (ch.pending[i].seq == seq) {
+      delete ch.pending[i].copy;
+      ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
+      --outstanding_;
+      return;
+    }
+  }
+  ++dup_acks_;  // already acked (first ack raced a retransmit)
+}
+
+bool Context::reliable_receive(net::Packet* p) {
+  BGQ_SCHED_POINT("pami.rel.recv");
+  // Corruption: drop silently — no ack, so the sender's retransmit
+  // recovers the clean copy.
+  if (net::packet_checksum(*p) != p->checksum) {
+    ++corrupt_;
+    delete p;
+    return false;
+  }
+  Channel& ch = channel(p->src, p->src_ctx);
+  for (const std::uint64_t a : p->acks) ack_one(ch, a);
+  if ((p->flags & net::kPktAck) != 0) {
+    delete p;  // pure ack: no dispatch, no receive count
+    return false;
+  }
+  // Dedup: an already-delivered seq is re-acked (the first ack may have
+  // been lost) but never re-dispatched — exactly-once delivery.
+  const std::uint64_t seq = p->seq;
+  const bool seen =
+      seq <= ch.recv_cum ||
+      std::find(ch.recv_above.begin(), ch.recv_above.end(), seq) !=
+          ch.recv_above.end();
+  if (seen) {
+    ++dedup_;
+    ch.owed_acks.push_back(seq);
+    ++owed_total_;
+    delete p;
+    return false;
+  }
+  // Mark delivered: advance the cumulative watermark, absorbing any
+  // contiguous run parked above it (reordered arrivals).
+  if (seq == ch.recv_cum + 1) {
+    ++ch.recv_cum;
+    bool advanced = true;
+    while (advanced && !ch.recv_above.empty()) {
+      advanced = false;
+      for (std::size_t i = 0; i < ch.recv_above.size(); ++i) {
+        if (ch.recv_above[i] == ch.recv_cum + 1) {
+          ++ch.recv_cum;
+          ch.recv_above[i] = ch.recv_above.back();
+          ch.recv_above.pop_back();
+          advanced = true;
+          break;
+        }
+      }
+    }
+  } else {
+    ch.recv_above.push_back(seq);
+  }
+  ch.owed_acks.push_back(seq);
+  ++owed_total_;
+  return true;  // fresh data: caller dispatches it
+}
+
+std::size_t Context::reliability_tick() {
+  if (!client_.reliable()) return 0;
+  const ReliabilityParams& rp = client_.reliability();
+  std::size_t activity = 0;
+
+  // Drain the backpressure backlog while windows have room (FIFO order:
+  // the head blocking keeps submission order per channel).
+  while (!backlog_.empty()) {
+    net::Packet* pkt = backlog_.front();
+    Channel& ch = channel(pkt->dst, pkt->rec_fifo);
+    if (ch.pending.size() >= rp.window) break;
+    backlog_.pop_front();
+    transmit(ch, pkt);
+    ++activity;
+  }
+
+  // Retransmit expired unacked packets with exponential backoff.
+  if (outstanding_ != 0) {
+    const std::uint64_t now = now_ns();
+    for (auto& [key, ch] : chans_) {
+      for (Pending& pend : ch.pending) {
+        if (pend.deadline_ns > now) continue;
+        if (++pend.tries > rp.max_retries) {
+          throw std::runtime_error(
+              "pami reliability: retransmit retries exhausted (seq " +
+              std::to_string(pend.seq) + "; peer unreachable?)");
+        }
+        pend.rto_ns = std::min(pend.rto_ns * 2, rp.rto_max_ns);
+        pend.deadline_ns = now + pend.rto_ns;
+        BGQ_SCHED_POINT("pami.rel.retransmit");
+        client_.fabric().inject(new net::Packet(*pend.copy));
+        ++retransmits_;
+        ++activity;
+      }
+    }
+  }
+
+  // Flush acks that found no data packet to piggyback on as standalone
+  // batched ack packets (unsequenced: a lost ack is re-owed on dedup).
+  if (owed_total_ != 0) {
+    for (auto& [key, ch] : chans_) {
+      while (!ch.owed_acks.empty()) {
+        const std::size_t take =
+            std::min(rp.max_ack_batch, ch.owed_acks.size());
+        auto* ack = new net::Packet();
+        ack->kind = net::TransferKind::kMemFifo;
+        ack->src = client_.endpoint();
+        ack->dst = static_cast<EndpointId>(key >> 16);
+        ack->rec_fifo = static_cast<std::uint16_t>(key & 0xFFFF);
+        ack->flags = net::kPktAck;
+        ack->src_ctx = index_;
+        ack->acks.assign(
+            ch.owed_acks.end() - static_cast<std::ptrdiff_t>(take),
+            ch.owed_acks.end());
+        ch.owed_acks.resize(ch.owed_acks.size() - take);
+        owed_total_ -= take;
+        acks_alone_ += take;
+        ack->checksum = net::packet_checksum(*ack);
+        BGQ_SCHED_POINT("pami.rel.ackflush");
+        client_.fabric().inject(ack);
+        ++activity;
+      }
+    }
+  }
+  return activity;
 }
 
 void Context::post_work(std::function<void()> fn) {

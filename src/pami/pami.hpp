@@ -27,12 +27,17 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "net/packet.hpp"
+#include "pami/reliability.hpp"
 #include "queue/l2_atomic_queue.hpp"
 #include "wakeup/wakeup_unit.hpp"
 
@@ -81,6 +86,7 @@ class Context {
   static constexpr std::size_t kImmediateMax = 128;
 
   Context(Client& client, std::uint16_t index);
+  ~Context();
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -121,6 +127,13 @@ class Context {
   /// True when the FIFO or the work queue has anything pending.
   bool has_pending() const;
 
+  /// True when the reliability layer has timed work (unacked packets or a
+  /// backpressure backlog): the advancing thread must not park forever —
+  /// a lost ack produces no wake(), only a timeout.
+  bool has_timers() const noexcept {
+    return outstanding_ != 0 || !backlog_.empty();
+  }
+
   /// The gate the advancing thread parks on (the reception FIFO's gate by
   /// default; the comm-thread pool rebinds it).
   wakeup::WaitGate& gate();
@@ -134,18 +147,64 @@ class Context {
   std::uint64_t receives() const noexcept { return recvs_; }
   std::uint64_t work_executed() const noexcept { return work_done_; }
 
+  // Reliability-protocol counters (all zero unless the client enabled
+  // reliability; see pami/reliability.hpp).
+  std::uint64_t retransmits() const noexcept { return retransmits_; }
+  std::uint64_t dup_acks() const noexcept { return dup_acks_; }
+  std::uint64_t piggybacked_acks() const noexcept { return acks_piggy_; }
+  std::uint64_t standalone_acks() const noexcept { return acks_alone_; }
+  std::uint64_t corrupt_drops() const noexcept { return corrupt_; }
+  std::uint64_t dedup_drops() const noexcept { return dedup_; }
+  std::uint64_t backpressure_stalls() const noexcept { return stalls_; }
+
  private:
   struct WorkItem {
     std::function<void()> fn;
   };
 
+  /// Retransmit-buffer entry: a private copy of an unacked packet.
+  struct Pending {
+    std::uint64_t seq = 0;
+    net::Packet* copy = nullptr;
+    std::uint64_t deadline_ns = 0;
+    std::uint64_t rto_ns = 0;
+    unsigned tries = 0;
+  };
+
+  /// Both directions of the flow between this context and one peer
+  /// (endpoint, context).  Sender half: seq allocation + retransmit
+  /// buffer.  Receiver half: dedup state + owed acks.
+  struct Channel {
+    std::uint64_t next_seq = 1;          // 0 means "unsequenced" on the wire
+    std::vector<Pending> pending;        // unacked, ordered by send time
+
+    std::uint64_t recv_cum = 0;          // all seqs <= this were delivered
+    std::vector<std::uint64_t> recv_above;  // delivered seqs > recv_cum
+    std::vector<std::uint64_t> owed_acks;   // to piggyback or flush
+  };
+
   net::ReceptionFifo& fifo();
   void process(net::Packet* p);
+
+  // Reliability internals (pami.cpp); all run on the advancing thread.
+  Channel& channel(EndpointId ep, std::uint16_t ctx);
+  void reliable_submit(net::Packet* pkt);
+  void transmit(Channel& ch, net::Packet* pkt);
+  bool reliable_receive(net::Packet* p);
+  void ack_one(Channel& ch, std::uint64_t seq);
+  std::size_t reliability_tick();
 
   Client& client_;
   const std::uint16_t index_;
 
   queue::L2AtomicQueue<WorkItem*> work_;
+
+  // Channels keyed by (peer endpoint << 16) | peer context.  Only the
+  // advancing thread touches this (PAMI thread contract), so no locks.
+  std::unordered_map<std::uint64_t, Channel> chans_;
+  std::deque<net::Packet*> backlog_;  // backpressured sends, FIFO order
+  std::size_t outstanding_ = 0;       // unacked packets across channels
+  std::size_t owed_total_ = 0;        // owed acks across channels
 
   // Stats are written only by the threads owning the respective path; they
   // are plain counters read for reporting.
@@ -153,6 +212,13 @@ class Context {
   std::uint64_t imm_sends_ = 0;
   std::uint64_t recvs_ = 0;
   std::uint64_t work_done_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t dup_acks_ = 0;
+  std::uint64_t acks_piggy_ = 0;
+  std::uint64_t acks_alone_ = 0;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t dedup_ = 0;
+  std::uint64_t stalls_ = 0;
 };
 
 /// One PAMI client per process (endpoint); owns the contexts and the
@@ -178,8 +244,27 @@ class Client {
   /// with that id arrives (PAMI_Dispatch_set has the same requirement).
   void set_dispatch(std::uint16_t id, DispatchFn fn);
 
+  /// Dispatch lookup, bounds-checked: a dispatch id off the wire can be
+  /// anything (a bit flip away from valid), so an out-of-range id must be
+  /// a loud error, not an out-of-bounds read.
   const DispatchFn& dispatch(std::uint16_t id) const {
+    if (id >= kMaxDispatch) {
+      throw std::out_of_range("pami: dispatch id " + std::to_string(id) +
+                              " out of range");
+    }
     return dispatch_table_[id];
+  }
+
+  /// Turn on the ack/retransmit reliability protocol for every context of
+  /// this client (see pami/reliability.hpp).  Call before traffic flows;
+  /// both communicating clients must enable it.
+  void enable_reliability(const ReliabilityParams& params = {}) {
+    reliability_ = params;
+    reliable_ = true;
+  }
+  bool reliable() const noexcept { return reliable_; }
+  const ReliabilityParams& reliability() const noexcept {
+    return reliability_;
   }
 
  private:
@@ -187,6 +272,8 @@ class Client {
   const EndpointId endpoint_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::array<DispatchFn, kMaxDispatch> dispatch_table_;
+  ReliabilityParams reliability_{};
+  bool reliable_ = false;
 };
 
 }  // namespace bgq::pami

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -66,6 +67,30 @@ class alignas(kL2Line) WaitGate {
     {
       std::unique_lock<std::mutex> lk(mutex_);
       cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    BGQ_SCHED_BLOCK_END();
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// commit_wait with a deadline: returns once a wake() advances the epoch
+  /// past `seen` *or* `timeout_ns` elapses.  Used by comm threads that must
+  /// stay responsive to reliability retransmit timers — a lost ack produces
+  /// no wake(), only the passage of time.
+  void commit_wait_for(std::uint64_t seen, std::uint64_t timeout_ns) {
+    for (int spin = 0; spin < kSpinProbes; ++spin) {
+      BGQ_SCHED_POINT("gate.commit.probe");
+      if (epoch_.load(std::memory_order_acquire) != seen) {
+        cancel_wait();
+        return;
+      }
+      l2_paced_delay();
+    }
+    BGQ_SCHED_BLOCK_BEGIN();
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait_for(lk, std::chrono::nanoseconds(timeout_ns), [&] {
         return epoch_.load(std::memory_order_acquire) != seen;
       });
     }

@@ -305,4 +305,160 @@ TEST(Converse, MessageHeaderRoundTrip) {
   EXPECT_EQ(seen_dst.load(), last);
 }
 
+// ---------------------------------------------------------------------------
+// Chaos fabric: the machine layer over fault injection + reliability
+// ---------------------------------------------------------------------------
+
+using bgq::net::FaultPlan;
+
+MachineConfig faulty_config(Mode mode, const char* plan) {
+  MachineConfig cfg = base_config(mode);
+  cfg.faults = FaultPlan::parse(plan);
+  cfg.reliability.rto_ns = 100'000;  // this host's threads schedule far
+  cfg.reliability.rto_max_ns = 5'000'000;  // apart; keep recovery quick
+  return cfg;
+}
+
+class FaultyModes : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(FaultyModes, ManyToOneExactlyOnceUnderDropDupReorder) {
+  MachineConfig cfg = faulty_config(
+      GetParam(), "drop=0.01,dup=0.01,delay=0.02,seed=1234");
+  Machine machine(cfg);
+  const std::size_t senders = machine.pe_count() - 1;
+  constexpr int kPer = 100;
+
+  std::atomic<std::size_t> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    if (got.fetch_add(1) + 1 == senders * kPer) pe.exit_all();
+  });
+
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) return;
+    for (int i = 0; i < kPer; ++i) pe.send(0, h, &i, sizeof(i));
+  });
+
+  EXPECT_EQ(got.load(), senders * kPer)
+      << "every message delivered exactly once despite drop+dup+reorder";
+  const auto report = machine.metrics_report();
+  EXPECT_GT(report.value("net.drops") + report.value("net.dups") +
+                report.value("net.delays"),
+            0u)
+      << "the fault plan must actually have fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, FaultyModes,
+                         ::testing::Values(Mode::kNonSmp, Mode::kSmp,
+                                           Mode::kSmpCommThreads),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Mode::kNonSmp: return "NonSmp";
+                             case Mode::kSmp: return "Smp";
+                             default: return "SmpCommThreads";
+                           }
+                         });
+
+TEST(ConverseFaults, RetransmitCounterProvesProtocolExercised) {
+  MachineConfig cfg =
+      faulty_config(Mode::kSmp, "drop=0.05,dup=0.01,delay=0.02,seed=99");
+  Machine machine(cfg);
+  const std::size_t senders = machine.pe_count() - 1;
+  constexpr int kPer = 200;
+
+  std::atomic<std::size_t> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    if (got.fetch_add(1) + 1 == senders * kPer) pe.exit_all();
+  });
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) return;
+    for (int i = 0; i < kPer; ++i) pe.send(0, h, &i, sizeof(i));
+  });
+
+  ASSERT_EQ(got.load(), senders * kPer);
+  const auto report = machine.metrics_report();
+  EXPECT_GT(report.value("net.drops"), 0u);
+  EXPECT_GT(report.value("net.retransmits"), 0u)
+      << "5% drop over " << senders * kPer
+      << " messages must have forced retransmits";
+}
+
+TEST(ConverseFaults, RendezvousSurvivesFaultyControlPackets) {
+  // The rendezvous req/ack legs are mem-FIFO sends (faulted); the rget
+  // data leg models the DMA engine (reliable).  End-to-end integrity must
+  // hold with the control packets dropped and duplicated.
+  MachineConfig cfg =
+      faulty_config(Mode::kSmp, "drop=0.1,dup=0.1,delay=0.1,seed=5");
+  Machine machine(cfg);
+  const auto last = static_cast<bgq::cvs::PeRank>(machine.pe_count() - 1);
+  constexpr std::size_t kBytes = 64 * 1024;
+
+  std::atomic<bool> ok{false};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    const auto* p = reinterpret_cast<const std::uint32_t*>(m->payload());
+    bool good = m->payload_bytes() == kBytes;
+    for (std::size_t i = 0; good && i < kBytes / 4; i += 97) {
+      good = p[i] == static_cast<std::uint32_t>(i);
+    }
+    ok.store(good);
+    pe.free_message(m);
+    pe.exit_all();
+  });
+
+  machine.run([&, last](Pe& pe) {
+    if (pe.rank() != 0) return;
+    Message* m = pe.alloc_message(kBytes, h);
+    auto* p = reinterpret_cast<std::uint32_t*>(m->payload());
+    for (std::size_t i = 0; i < kBytes / 4; ++i) {
+      p[i] = static_cast<std::uint32_t>(i);
+    }
+    pe.send_message(last, m);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ConverseFaults, DefaultRunEmitsReliabilityCountersAsZeros) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  Machine machine(cfg);
+  const HandlerId h = machine.register_handler(
+      [&](Pe& pe, Message* m) { pe.free_message(m); pe.exit_all(); });
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) pe.send(1, h, nullptr, 0);
+  });
+
+  const auto report = machine.metrics_report();
+  for (const char* key :
+       {"net.drops", "net.dups", "net.delays", "net.bitflips",
+        "net.fifo.rejects", "net.fifo.spills", "net.retransmits",
+        "net.dup_acks", "net.acks.piggybacked", "net.acks.standalone",
+        "net.corrupt_drops", "net.dedup_drops",
+        "comm.backpressure_stalls"}) {
+    EXPECT_TRUE(report.has(key)) << key << " missing from report";
+    EXPECT_EQ(report.value(key), 0u) << key << " nonzero on lossless run";
+  }
+}
+
+TEST(ConverseFaults, FifoCapacityIsConfigurableAndSpillsAreCounted) {
+  MachineConfig cfg = base_config(Mode::kSmp);
+  cfg.rec_fifo_capacity = 8;  // tiny ring: bursts must spill (lossless)
+  Machine machine(cfg);
+  const std::size_t senders = machine.pe_count() - 1;
+  constexpr int kPer = 300;
+
+  std::atomic<std::size_t> got{0};
+  const HandlerId h = machine.register_handler([&](Pe& pe, Message* m) {
+    pe.free_message(m);
+    if (got.fetch_add(1) + 1 == senders * kPer) pe.exit_all();
+  });
+  machine.run([&](Pe& pe) {
+    if (pe.rank() == 0) return;
+    for (int i = 0; i < kPer; ++i) pe.send(0, h, &i, sizeof(i));
+  });
+
+  EXPECT_EQ(got.load(), senders * kPer) << "spilling stays lossless";
+  const auto report = machine.metrics_report();
+  EXPECT_GT(report.value("net.fifo.spills"), 0u);
+}
+
 }  // namespace
