@@ -8,17 +8,18 @@
 // policy, and report the active thread's throughput plus the idle
 // thread's wake latency when work finally arrives.
 //
-// Wake latency is measured through the trace subsystem: the poster emits
-// kMsgEnqueue on its ring just before publishing, the idler emits
-// kMsgDequeue on receipt, and the two tracks FIFO-match after the run —
-// the same event stream a traced Machine run produces.
+// Wake latency is measured through the trace subsystem: each post is a
+// causal-id-stamped synthetic lifecycle (kMsgSend+kMsgEnqueue on the
+// poster's ring, kMsgDequeue+handler span on the idler's — the queue is
+// SPSC, so ordinal i on one side is ordinal i on the other), and the
+// post-mortem analyzer's "queueing" segment is the wake latency — the
+// same pipeline a traced Machine run feeds.
 #include <atomic>
 #include <cstdio>
 #include <thread>
 
 #include "bench_json.hpp"
 #include "common/spin.hpp"
-#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
 #include "queue/l2_atomic_queue.hpp"
@@ -43,11 +44,16 @@ Result run_policy(IdlePollPolicy policy) {
 
   std::thread idler([&] {
     trace::Session::bind_thread(idle_ring);
+    std::uint64_t taken = 0;
     while (!stop.load(std::memory_order_acquire)) {
       // The §III-D loop: probe the message-queue counter, pace per policy.
       if (auto* m = q.try_dequeue()) {
         (void)m;
-        trace::emit_here(trace::EventKind::kMsgDequeue, 0);
+        // SPSC: the i-th dequeue pairs with the i-th post's cid.
+        const std::uint64_t cid = (std::uint64_t{1} << 32) | ++taken;
+        trace::emit_here(trace::EventKind::kMsgDequeue, 0, cid);
+        trace::emit_here(trace::EventKind::kHandlerBegin, 0, cid);
+        trace::emit_here(trace::EventKind::kHandlerEnd, 0, cid);
         continue;
       }
       switch (policy) {
@@ -68,29 +74,27 @@ Result run_policy(IdlePollPolicy policy) {
     for (int i = 0; i < 400000; ++i) sink = sink * 1.0000001 + 1e-9;
     ops += 400000;
     // Stamp-then-publish, so the dequeue timestamp is always later.
-    post_ring->emit({now_ns(), 0, trace::EventKind::kMsgEnqueue});
+    const std::uint64_t cid =
+        (std::uint64_t{1} << 32) | static_cast<std::uint64_t>(burst + 1);
+    const std::uint64_t t = now_ns();
+    post_ring->emit({t, 0, trace::EventKind::kMsgSend, cid});
+    post_ring->emit({t, 0, trace::EventKind::kMsgEnqueue, cid});
     q.enqueue(&token_storage);
   }
   const double secs = t.elapsed_s();
   stop.store(true, std::memory_order_release);
   idler.join();
 
-  // FIFO-match the poster's enqueues with the idler's dequeues (the queue
-  // is SPSC here, so ordinal i on one track is ordinal i on the other).
-  const auto& flat = session.collect();
-  SampleSet wakes;
-  const auto& posts = flat.tracks[0].events;
-  const auto& takes = flat.tracks[1].events;
-  const std::size_t n = posts.size() < takes.size() ? posts.size()
-                                                    : takes.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    wakes.add(static_cast<double>(takes[i].t_ns - posts[i].t_ns) * 1e-3);
-  }
+  // The analyzer reassembles each cid across the two tracks; the
+  // enqueue->dequeue ("queueing") segment is the idler's wake latency.
+  const trace::Analysis an = trace::analyze(session.collect());
+  const trace::Histogram& wake =
+      an.decomp.segments[trace::kHopDequeue - 1];
 
   Result r;
   r.active_mops = ops / secs * 1e-6;
-  r.wake_us = wakes.median();
-  r.wakes = n;
+  r.wake_us = static_cast<double>(wake.percentile(0.5)) * 1e-3;
+  r.wakes = wake.count();
   (void)sink;
   return r;
 }

@@ -16,7 +16,6 @@
 // PME-span columns carry the Fig. 10 comparison.
 #include <atomic>
 #include <cstdio>
-#include <vector>
 
 #include "bench_json.hpp"
 #include "common/table.hpp"
@@ -92,53 +91,45 @@ ProfileResult run_profile(cvs::Mode mode, fft::Transport transport,
       steps;
 
   // Phase spans come back from the per-PE trace rings (ParallelMd emits
-  // kPhaseBegin/kPhaseEnd; arg = md::kPhaseCutoff / md::kPhasePme).
+  // kPhaseBegin/kPhaseEnd; arg = md::kPhaseCutoff / md::kPhasePme) and
+  // are binned by the post-mortem analyzer, windowed to the measured
+  // steps so warmup stays out of the profile.
   const auto& flat = machine.trace_session().collect();
   if (flat.total_dropped() != 0) {
     std::fprintf(stderr, "warning: %llu trace events dropped "
                  "(raise trace_ring_events)\n",
                  static_cast<unsigned long long>(flat.total_dropped()));
   }
-  constexpr int kBuckets = 64;
-  std::vector<double> cut(kBuckets, 0.0), pme(kBuckets, 0.0);
-  double busy_cut = 0, busy_pme = 0, pme_spans = 0;
-  std::size_t pme_count = 0;
-  for (const auto& track : flat.tracks) {
-    for (const auto& span :
-         trace::extract_spans(track, trace::EventKind::kPhaseBegin)) {
-      const auto lo = std::max<std::uint64_t>(span.t0, t_begin.load());
-      const auto hi = std::min<std::uint64_t>(span.t1, t_end.load());
-      if (hi <= lo) continue;
-      const double dur = static_cast<double>(hi - lo);
-      const bool is_pme = span.arg == md::kPhasePme;
-      (is_pme ? busy_pme : busy_cut) += dur;
-      if (is_pme) {
-        pme_spans += dur;
-        ++pme_count;
-      }
-      const double b0 = static_cast<double>(lo - t_begin.load()) /
-                        wall_ns * kBuckets;
-      const double b1 = static_cast<double>(hi - t_begin.load()) /
-                        wall_ns * kBuckets;
-      auto& acc = is_pme ? pme : cut;
-      for (int b = static_cast<int>(b0);
-           b <= static_cast<int>(b1) && b < kBuckets; ++b) {
-        const double lob = std::max(b0, static_cast<double>(b));
-        const double hib = std::min(b1, static_cast<double>(b + 1));
-        if (hib > lob) acc[b] += hib - lob;
-      }
-    }
-  }
-  const double total_busy = busy_cut + busy_pme;
+  constexpr unsigned kBuckets = 64;
+  const trace::Analysis an =
+      trace::analyze(flat, kBuckets, t_begin.load(), t_end.load());
+  const auto& tp = an.profile;
+  auto stat = [&](std::uint32_t arg) {
+    const auto it = tp.phase_stats.find(arg);
+    return it != tp.phase_stats.end() ? it->second
+                                      : trace::TimeProfile::PhaseStat{};
+  };
+  const auto cut = stat(md::kPhaseCutoff);
+  const auto pme = stat(md::kPhasePme);
+  const double total_busy = static_cast<double>(cut.total_ns + pme.total_ns);
   out.utilization = total_busy / (wall_ns * machine.pe_count());
-  out.pme_share = total_busy > 0 ? busy_pme / total_busy : 0;
+  out.pme_share =
+      total_busy > 0 ? static_cast<double>(pme.total_ns) / total_busy : 0;
   out.pme_span_ms =
-      pme_count != 0 ? pme_spans / pme_count * 1e-6 : 0.0;
+      pme.spans != 0
+          ? static_cast<double>(pme.total_ns) / pme.spans * 1e-6
+          : 0.0;
 
-  out.profile.resize(kBuckets);
-  for (int b = 0; b < kBuckets; ++b) {
-    const double c = cut[b] / machine.pe_count();
-    const double p = pme[b] / machine.pe_count();
+  // Machine-wide phase coverage per bin (tracks-in-phase), averaged over
+  // the PEs, rendered as the paper's cutoff/PME/idle strip.
+  auto coverage = [&](std::uint32_t arg, unsigned b) {
+    const auto it = tp.phases.find(arg);
+    return it != tp.phases.end() ? it->second[b] : 0.0;
+  };
+  out.profile.resize(tp.bins);
+  for (unsigned b = 0; b < tp.bins; ++b) {
+    const double c = coverage(md::kPhaseCutoff, b) / machine.pe_count();
+    const double p = coverage(md::kPhasePme, b) / machine.pe_count();
     out.profile[b] = (c + p) < 0.08 ? ' ' : (p > c ? '#' : '=');
   }
   return out;

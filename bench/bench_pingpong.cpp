@@ -15,6 +15,8 @@
 // *ordering* and the size scaling are the reproduction targets.
 #include <atomic>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "bench_json.hpp"
@@ -23,6 +25,7 @@
 #include "common/timing.hpp"
 #include "converse/machine.hpp"
 #include "net/fault.hpp"
+#include "trace/analysis.hpp"
 
 using namespace bgq;
 
@@ -53,7 +56,8 @@ std::uint64_t g_net[std::size(kNetKeys)] = {};
 /// `near_peer`: PE 1 (same process in SMP modes, the second process on
 /// the same node in non-SMP); otherwise the farthest PE (another node).
 Result run_pingpong(cvs::MachineConfig cfg, std::size_t bytes, int rounds,
-                    bool near_peer) {
+                    bool near_peer,
+                    const std::function<void(cvs::Machine&)>& post = {}) {
   cvs::Machine machine(cfg);
   const cvs::PeRank peer =
       near_peer ? 1 : static_cast<cvs::PeRank>(machine.pe_count() - 1);
@@ -97,7 +101,8 @@ Result run_pingpong(cvs::MachineConfig cfg, std::size_t bytes, int rounds,
         static_cast<bgq::topo::NodeId>(machine.process_of(peer));
     const int hops =
         machine.torus().hops(fab.node_of(ep0), fab.node_of(epp));
-    r.wire_us = fab.params().wire_time_ns(bytes + 16, hops) * 1e-3;
+    r.wire_us =
+        fab.params().wire_time_ns(bytes + sizeof(cvs::MsgHeader), hops) * 1e-3;
   }
   r.one_way_us = rtts.median() / 2.0 + r.wire_us;
 
@@ -105,7 +110,53 @@ Result run_pingpong(cvs::MachineConfig cfg, std::size_t bytes, int rounds,
   for (std::size_t i = 0; i < std::size(kNetKeys); ++i) {
     g_net[i] += rep.value(kNetKeys[i]);
   }
+  if (post) post(machine);  // e.g. drain the trace before teardown
   return r;
+}
+
+cvs::MachineConfig mode_config(cvs::Mode mode);
+
+/// `--trace[=path]`: rerun one inter-node SMP ping-pong with lifecycle
+/// tracing on, dump the bgq-trace-v1 flat trace, and print the analyzer's
+/// per-hop decomposition inline.  The per-hop percentiles (from the online
+/// lat.* histograms) and the hop-sum/end-to-end coverage land in the JSON
+/// report so CI can assert the decomposition telescopes.
+void run_traced(bench::JsonReport& json, const std::string& trace_path,
+                int rounds) {
+  std::printf("\n== traced run: message-lifecycle decomposition "
+              "(SMP, inter-node, 512 B) ==\n");
+  std::fflush(stdout);
+  cvs::MachineConfig cfg = mode_config(cvs::Mode::kSmp);
+  cfg.trace_events = true;
+  run_pingpong(cfg, 512, rounds, false, [&](cvs::Machine& m) {
+    for (const auto& [name, h] : m.metrics().hist_report()) {
+      if (h.count() == 0) continue;
+      json.add(name + ".p50", h.percentile(0.50));
+      json.add(name + ".p99", h.percentile(0.99));
+      json.add(name + ".max", h.max());
+    }
+    const trace::FlatTrace& flat = m.trace_session().collect();
+    const trace::Analysis an = trace::analyze(flat);
+    trace::write_prof_text(std::cout, an);
+    std::cout.flush();
+    json.add("traced.messages",
+             static_cast<std::uint64_t>(an.decomp.messages));
+    json.add("traced.end_to_end_ns",
+             static_cast<std::uint64_t>(an.decomp.end_to_end_sum_ns));
+    json.add("traced.hop_sum_ns",
+             static_cast<std::uint64_t>(an.decomp.hop_sum_ns()));
+    if (!trace_path.empty()) {
+      std::ofstream f(trace_path);
+      if (f) {
+        m.write_flat_trace(f);
+        std::printf("flat trace written to %s (feed it to bgq-prof)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "bench_pingpong: cannot write %s\n",
+                     trace_path.c_str());
+      }
+    }
+  });
 }
 
 cvs::MachineConfig mode_config(cvs::Mode mode) {
@@ -123,12 +174,19 @@ cvs::MachineConfig mode_config(cvs::Mode mode) {
 
 int main(int argc, char** argv) {
   bench::JsonReport json = bench::parse_args(argc, argv, "bench_pingpong");
+  bool want_trace = false;
+  std::string trace_path = "pingpong_trace.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       g_faults = net::FaultPlan::parse("drop=0.01,dup=0.01,delay=0.02,"
                                        "seed=1234");
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       g_faults = net::FaultPlan::parse(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      want_trace = true;
+      trace_path = argv[i] + 8;
     }
   }
   if (g_faults.enabled()) {
@@ -183,6 +241,12 @@ int main(int argc, char** argv) {
     json.add("fig5.same_smp_ct.us." + sz, iic.one_way_us);
   }
   fig5.print();
+  // --trace runs the traced decomposition and writes the flat trace; a
+  // --json report always includes the lat.* percentiles, so run the
+  // traced pass (without the file) for it too.
+  if (want_trace || json.enabled()) {
+    run_traced(json, want_trace ? trace_path : std::string(), kRounds);
+  }
   for (std::size_t i = 0; i < std::size(kNetKeys); ++i) {
     json.add(kNetKeys[i], g_net[i]);
   }

@@ -1,11 +1,13 @@
 #include "converse/machine.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "alloc/arena_allocator.hpp"
 #include "alloc/pool_allocator.hpp"
 #include "common/timing.hpp"
+#include "trace/trace_io.hpp"
 
 namespace bgq::cvs {
 
@@ -22,6 +24,13 @@ constexpr std::uint16_t kDispatchRzvAck = 3;
 struct RzvToken {
   Message* src_msg;
 };
+
+/// Clamped hop latency: stamps cross threads, and while the single global
+/// steady clock makes true negatives impossible on a correct handoff, a
+/// clamp keeps one reordered read from poisoning a histogram.
+std::uint64_t hop_ns(std::uint64_t now, std::uint64_t stamp) noexcept {
+  return now >= stamp ? now - stamp : 0;
+}
 
 }  // namespace
 
@@ -69,6 +78,16 @@ void Pe::send_message(PeRank dst, Message* m) {
   Machine& mach = machine();
   const CounterIds& ids = mach.counter_ids();
   counters_->add(ids.msgs_sent);
+  if (ring_ != nullptr) {
+    // Stamp the causal id (origin PE + per-PE sequence, kept below 2^53 so
+    // it survives the JSON exports' doubles) and open the lifecycle.  The
+    // untraced path never touches these header fields.
+    m->header().trace_id =
+        (static_cast<std::uint64_t>(rank_ + 1) << 32) | ++trace_seq_;
+    const std::uint64_t t = now_ns();
+    m->header().stamp_ns = t;
+    ring_->emit({t, dst, trace::EventKind::kMsgSend, m->header().trace_id});
+  }
   if (mach.process_of(dst) == mach.process_of(rank_)) {
     // Same SMP process: pointer exchange straight into the peer's queue.
     counters_->add(ids.sends_intra);
@@ -98,7 +117,14 @@ void Pe::broadcast(HandlerId handler, const void* payload, std::size_t bytes,
 void Pe::enqueue(Message* m) {
   // Producer-side trace tick, on the *sender's* track (null-bound
   // threads skip at the cost of one thread-local load).
-  trace::emit_here(trace::EventKind::kMsgEnqueue, rank_);
+  MsgHeader& h = m->header();
+  if (h.trace_id != 0) {
+    const std::uint64_t t =
+        trace::emit_here(trace::EventKind::kMsgEnqueue, rank_, h.trace_id);
+    h.stamp_ns = t != 0 ? t : now_ns();  // queue-wait baseline for dequeue
+  } else {
+    trace::emit_here(trace::EventKind::kMsgEnqueue, rank_);
+  }
   if (l2_queue_) {
     l2_queue_->enqueue(m->raw());
   } else {
@@ -108,14 +134,22 @@ void Pe::enqueue(Message* m) {
 
 void Pe::execute(Message* m) {
   const HandlerId h = m->header().handler;
+  // The handler owns (and may free or forward) the message: capture the
+  // causal id before invoking it.
+  const std::uint64_t cid = m->header().trace_id;
   const std::uint64_t t0 = now_ns();
-  if (ring_) ring_->emit({t0, h, trace::EventKind::kHandlerBegin});
+  if (ring_) ring_->emit({t0, h, trace::EventKind::kHandlerBegin, cid});
   machine().handler(h)(*this, m);
   const std::uint64_t t1 = now_ns();
   const CounterIds& ids = machine().counter_ids();
   counters_->add(ids.busy_ns, t1 - t0);
   counters_->add(ids.msgs_executed);
-  if (ring_) ring_->emit({t1, h, trace::EventKind::kHandlerEnd});
+  if (ring_) {
+    ring_->emit({t1, h, trace::EventKind::kHandlerEnd, cid});
+    if (cid != 0) {
+      counters_->record(machine().hist_ids().handler_ns, t1 - t0);
+    }
+  }
 }
 
 bool Pe::pump_one() {
@@ -124,8 +158,13 @@ bool Pe::pump_one() {
   if (raw != nullptr) {
     Message* m = Message::from_raw(raw);
     if (ring_) {
-      ring_->emit({now_ns(), m->header().handler,
-                   trace::EventKind::kMsgDequeue});
+      const MsgHeader& h = m->header();
+      const std::uint64_t t = now_ns();
+      ring_->emit({t, h.handler, trace::EventKind::kMsgDequeue, h.trace_id});
+      if (h.trace_id != 0) {
+        counters_->record(machine().hist_ids().queue_ns,
+                          hop_ns(t, h.stamp_ns));
+      }
     }
     execute(m);
     return true;
@@ -242,11 +281,23 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
       m->header().src_pe % machine_.config().contexts_per_process());
   const std::size_t bytes = m->payload_bytes();
 
+  MsgHeader& hdr = m->header();
+  if (hdr.trace_id != 0) {
+    // Injection hop closes here (send -> this context picking the message
+    // up); re-stamp *before* the header is copied into packet metadata so
+    // the network hop's baseline crosses the wire with the message.
+    const std::uint64_t t = now_ns();
+    trace::Registry::record_here(machine_.hist_ids().inject_ns,
+                                 hop_ns(t, hdr.stamp_ns));
+    hdr.stamp_ns = t;
+  }
+
   pami::SendParams p;
   p.dest = dst_ep;
   p.dest_context = dest_ctx;
   p.metadata = &m->header();
   p.metadata_bytes = sizeof(MsgHeader);
+  p.cid = hdr.trace_id;
 
   if (bytes > machine_.config().eager_max) {
     // Rendezvous (§III): ship a short request carrying the source buffer
@@ -274,6 +325,13 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
 void Process::on_eager(const pami::DispatchArgs& a) {
   MsgHeader hdr;
   std::memcpy(&hdr, a.metadata, sizeof(hdr));
+  if (hdr.trace_id != 0) {
+    // Network hop closes at dispatch on the receive side.
+    const std::uint64_t t = now_ns();
+    trace::Registry::record_here(machine_.hist_ids().network_ns,
+                                 hop_ns(t, hdr.stamp_ns));
+    hdr.stamp_ns = t;
+  }
   void* raw = allocator_->allocate(current_tid(),
                                    sizeof(MsgHeader) + a.payload_bytes);
   auto* m = Message::from_raw(raw);
@@ -299,6 +357,14 @@ void Process::deliver(Message* m) {
 void Process::on_rendezvous_req(const pami::DispatchArgs& a) {
   MsgHeader hdr;
   std::memcpy(&hdr, a.metadata, sizeof(hdr));
+  if (hdr.trace_id != 0) {
+    // Rendezvous: the network hop closes when the request lands; the rget
+    // payload pull shows up between here and the enqueue that follows it.
+    const std::uint64_t t = now_ns();
+    trace::Registry::record_here(machine_.hist_ids().network_ns,
+                                 hop_ns(t, hdr.stamp_ns));
+    hdr.stamp_ns = t;
+  }
   RzvToken token;
   std::memcpy(&token, a.payload, sizeof(token));
 
@@ -347,10 +413,11 @@ void Process::start_comm_threads(unsigned n) {
       std::move(ctxs), n, [workers, mach, ep](unsigned comm_tid) {
         // Comm threads use allocator slots after the workers'.
         set_current_tid(workers + comm_tid);
+        const std::string label =
+            "comm" + std::to_string(ep) + "." + std::to_string(comm_tid);
+        trace::Registry::bind_thread(mach->metrics().make_shard(label));
         if (mach->trace_session().enabled()) {
-          mach->trace_session().adopt_thread(
-              ep, workers + comm_tid,
-              "comm" + std::to_string(ep) + "." + std::to_string(comm_tid));
+          mach->trace_session().adopt_thread(ep, workers + comm_tid, label);
         }
       });
 }
@@ -375,6 +442,10 @@ Machine::Machine(MachineConfig cfg)
   ids_.sends_network = metrics_.intern("pe.sends.network");
   ids_.idle_probes = metrics_.intern("pe.idle.probes");
   ids_.busy_ns = metrics_.intern("pe.busy_ns");
+  hist_ids_.inject_ns = metrics_.intern_hist("lat.inject_ns");
+  hist_ids_.network_ns = metrics_.intern_hist("lat.network_ns");
+  hist_ids_.queue_ns = metrics_.intern_hist("lat.queue_ns");
+  hist_ids_.handler_ns = metrics_.intern_hist("lat.handler_ns");
   fabric_ = std::make_unique<net::Fabric>(
       torus_, cfg_.net, cfg_.contexts_per_process(),
       cfg_.effective_processes_per_node(), cfg_.rec_fifo_capacity);
@@ -438,6 +509,7 @@ void Machine::run(const std::function<void(Pe&)>& init) {
       workers.emplace_back([this, pe, w, &init] {
         Process::set_current_tid(w);
         trace::Session::bind_thread(pe->ring_);
+        trace::Registry::bind_thread(pe->counters_);
         worker_barrier(pe);  // everyone exists before any traffic flows
         init(*pe);
         pe->scheduler_loop();
@@ -517,11 +589,27 @@ trace::Report Machine::metrics_report() {
   metrics_.set_gauge("net.corrupt_drops", corrupt);
   metrics_.set_gauge("net.dedup_drops", dedup);
   metrics_.set_gauge("comm.backpressure_stalls", stalls);
+
+  // Trace-ring health: total events lost to full rings and the worst
+  // per-ring occupancy high-water mark.  Emitted unconditionally (zeros
+  // when tracing is off) so a truncated trace is visible in any report
+  // instead of silently biasing the analyzer.
+  std::uint64_t ring_drops = 0, ring_hwm = 0;
+  for (const auto& rs : trace_.ring_stats()) {
+    ring_drops += rs.dropped;
+    ring_hwm = std::max(ring_hwm, rs.high_water);
+  }
+  metrics_.set_gauge("trace.ring.drops", ring_drops);
+  metrics_.set_gauge("trace.ring.hwm", ring_hwm);
   return metrics_.report();
 }
 
 void Machine::write_chrome_trace(std::ostream& os) {
   trace::write_chrome_trace(os, trace_.collect());
+}
+
+void Machine::write_flat_trace(std::ostream& os) {
+  trace::write_flat_trace(os, trace_.collect());
 }
 
 }  // namespace bgq::cvs

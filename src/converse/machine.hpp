@@ -55,6 +55,17 @@ struct CounterIds {
   trace::Registry::Id busy_ns;        ///< pe.busy_ns
 };
 
+/// Dense ids of the per-hop latency histograms recorded online while a
+/// traced message moves through its lifecycle (see message.hpp: the
+/// header's stamp_ns is re-stamped at every hop, so each stage sees both
+/// endpoints of its own interval).  All zero-sample when tracing is off.
+struct HistIds {
+  trace::Registry::Id inject_ns;   ///< lat.inject_ns: send -> PAMI inject
+  trace::Registry::Id network_ns;  ///< lat.network_ns: inject -> dispatch
+  trace::Registry::Id queue_ns;    ///< lat.queue_ns: enqueue -> dequeue
+  trace::Registry::Id handler_ns;  ///< lat.handler_ns: handler begin -> end
+};
+
 /// One worker processing element.
 class Pe {
  public:
@@ -142,7 +153,8 @@ class Pe {
 
   trace::Registry::Shard* counters_;       // owned by the machine registry
   trace::EventRing* ring_ = nullptr;       // owned by the trace session
-  std::uint64_t send_seq_ = 0;  // round-robin context routing
+  std::uint64_t send_seq_ = 0;   // round-robin context routing
+  std::uint64_t trace_seq_ = 0;  // per-PE causal-id allocation
 };
 
 /// One Charm++ OS process (PAMI endpoint).
@@ -260,6 +272,7 @@ class Machine {
   /// shards owned by the PEs; totals are exact once run() has returned.
   trace::Registry& metrics() noexcept { return metrics_; }
   const CounterIds& counter_ids() const noexcept { return ids_; }
+  const HistIds& hist_ids() const noexcept { return hist_ids_; }
 
   /// Snapshot of every counter (summed over PEs) and gauge, including the
   /// allocator and comm-thread gauges gathered from each process.
@@ -273,11 +286,16 @@ class Machine {
   /// (about://tracing, Perfetto).
   void write_chrome_trace(std::ostream& os);
 
+  /// Flush all rings and write the flat causal trace (bgq-trace-v1 JSON),
+  /// the input format of the bgq-prof post-mortem analyzer.
+  void write_flat_trace(std::ostream& os);
+
  private:
   MachineConfig cfg_;
   topo::Torus torus_;
   trace::Registry metrics_;
   CounterIds ids_;
+  HistIds hist_ids_;
   trace::Session trace_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Process>> processes_;

@@ -1,6 +1,6 @@
 // Converse message layout.
 //
-// A message is a single allocation: a 16-byte header followed by payload.
+// A message is a single allocation: a 32-byte header followed by payload.
 // Within an SMP process, messages move between PEs by pointer exchange
 // (the paper's "local communication within the process is via pointer
 // exchange"); across processes the header travels as PAMI metadata and the
@@ -24,8 +24,17 @@ struct alignas(16) MsgHeader {
   std::uint16_t flags = 0;
   PeRank src_pe = 0;
   PeRank dst_pe = 0;
+  /// Causal trace id, stamped at send time when tracing is on; 0 means
+  /// untraced.  Encoded as ((src_pe+1) << 32) | seq so it stays below
+  /// 2^53 (exactly representable in the JSON exports' doubles) for any
+  /// realistic PE count and message volume.
+  std::uint64_t trace_id = 0;
+  /// Timestamp of the previous lifecycle hop, re-stamped hop-to-hop so
+  /// each stage can compute its latency with both endpoints visible on
+  /// one thread (no cross-thread clock handoff; travels as metadata).
+  std::uint64_t stamp_ns = 0;
 };
-static_assert(sizeof(MsgHeader) == 16);
+static_assert(sizeof(MsgHeader) == 32);
 
 /// A Converse message.  Never constructed directly — allocated by
 /// Pe::alloc_message / Process::alloc_message so the buffer comes from the

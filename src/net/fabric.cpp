@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "trace/session.hpp"
 #include "verify/schedule_point.hpp"
 
 namespace bgq::net {
@@ -101,6 +102,10 @@ void Fabric::deliver_packet(Packet* p) {
   switch (p->kind) {
     case TransferKind::kMemFifo: {
       ReceptionFifo& fifo = reception_fifo(p->dst, p->rec_fifo);
+      // Read the trace fields before publishing: deliver() hands the
+      // packet to the receiver, which may free it before we return.
+      const std::uint64_t cid = p->cid;
+      const std::uint32_t dst = static_cast<std::uint32_t>(p->dst);
       if (faults_ != nullptr && faults_->plan.reject_on_full) {
         // Overload mode: a full FIFO refuses the packet outright.  The
         // sender's reliability layer sees the missing ack and retransmits
@@ -108,9 +113,13 @@ void Fabric::deliver_packet(Packet* p) {
         if (!fifo.try_deliver(p)) {
           rejects_.fetch_add(1, std::memory_order_relaxed);
           delete p;
+          break;
         }
       } else {
         fifo.deliver(p);
+      }
+      if (cid != 0) {
+        trace::emit_here(trace::EventKind::kNetDeliver, dst, cid);
       }
       break;
     }
@@ -120,6 +129,10 @@ void Fabric::deliver_packet(Packet* p) {
       // the completion notification to the destination FIFO.
       if (p->rdma_bytes != 0) {
         std::memcpy(p->rdma_dst, p->rdma_src, p->rdma_bytes);
+      }
+      if (p->cid != 0) {
+        trace::emit_here(trace::EventKind::kNetDeliver,
+                         static_cast<std::uint32_t>(p->dst), p->cid);
       }
       reception_fifo(p->dst, p->rec_fifo).deliver(p);
       break;

@@ -71,6 +71,11 @@ struct Packet {
   /// Modeled one-way wire time stamped by the fabric at injection.
   std::uint64_t wire_ns = 0;
 
+  /// Causal trace id of the message this transfer carries (0 = untraced).
+  /// Observability sidecar only: excluded from packet_checksum because the
+  /// receiver never acts on it — a corrupted cid must not fail delivery.
+  std::uint64_t cid = 0;
+
   /// Number of 512-byte network packets this transfer consumed.
   std::uint32_t num_packets = 0;
 

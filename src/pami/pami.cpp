@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/timing.hpp"
+#include "trace/session.hpp"
 #include "verify/schedule_point.hpp"
 
 namespace bgq::pami {
@@ -35,6 +36,7 @@ void fill_common(net::Packet& pkt, EndpointId src, const SendParams& p) {
   pkt.dst = p.dest;
   pkt.dispatch = p.dispatch;
   pkt.rec_fifo = p.dest_context;
+  pkt.cid = p.cid;
   if (p.metadata_bytes != 0) {
     pkt.metadata.resize(p.metadata_bytes);
     std::memcpy(pkt.metadata.data(), p.metadata, p.metadata_bytes);
@@ -58,6 +60,10 @@ void Context::send_immediate(const SendParams& p) {
   if (client_.reliable()) {
     reliable_submit(pkt);
   } else {
+    if (pkt->cid != 0) {
+      trace::emit_here(trace::EventKind::kNetInject,
+                       static_cast<std::uint32_t>(pkt->dst), pkt->cid);
+    }
     client_.fabric().inject(pkt);
   }
   ++imm_sends_;
@@ -74,6 +80,10 @@ void Context::send(const SendParams& p) {
   if (client_.reliable()) {
     reliable_submit(pkt);
   } else {
+    if (pkt->cid != 0) {
+      trace::emit_here(trace::EventKind::kNetInject,
+                       static_cast<std::uint32_t>(pkt->dst), pkt->cid);
+    }
     client_.fabric().inject(pkt);
   }
   ++sends_;
@@ -119,6 +129,12 @@ void Context::process(net::Packet* p) {
     // which consumes (and frees) corrupted, duplicate, and pure-ack
     // packets; only fresh data falls through to dispatch.
     if (p->flags != 0 && !reliable_receive(p)) return;
+    // Exactly-once per delivered message even under retransmit: duplicates
+    // were filtered above, so this is the dispatch hop of the lifecycle.
+    if (p->cid != 0) {
+      trace::emit_here(trace::EventKind::kMsgRecv,
+                       static_cast<std::uint32_t>(p->src), p->cid);
+    }
     const DispatchFn& fn = client_.dispatch(p->dispatch);
     if (!fn) {
       delete p;
@@ -189,6 +205,10 @@ void Context::reliable_submit(net::Packet* pkt) {
           "pami reliability: backpressure backlog overflow "
           "(application is outrunning the network)");
     }
+    if (pkt->cid != 0) {
+      trace::emit_here(trace::EventKind::kNetBacklog,
+                       static_cast<std::uint32_t>(pkt->dst), pkt->cid);
+    }
     backlog_.push_back(pkt);
     ++stalls_;
     return;
@@ -216,6 +236,10 @@ void Context::transmit(Channel& ch, net::Packet* pkt) {
       Pending{pkt->seq, copy, now_ns() + rp.rto_ns, rp.rto_ns, 0});
   ++outstanding_;
   BGQ_SCHED_POINT("pami.rel.transmit");
+  if (pkt->cid != 0) {
+    trace::emit_here(trace::EventKind::kNetInject,
+                     static_cast<std::uint32_t>(pkt->dst), pkt->cid);
+  }
   client_.fabric().inject(pkt);
 }
 
@@ -315,6 +339,11 @@ std::size_t Context::reliability_tick() {
         pend.rto_ns = std::min(pend.rto_ns * 2, rp.rto_max_ns);
         pend.deadline_ns = now + pend.rto_ns;
         BGQ_SCHED_POINT("pami.rel.retransmit");
+        if (pend.copy->cid != 0) {
+          trace::emit_here(trace::EventKind::kNetRetransmit,
+                           static_cast<std::uint32_t>(pend.copy->dst),
+                           pend.copy->cid);
+        }
         client_.fabric().inject(new net::Packet(*pend.copy));
         ++retransmits_;
         ++activity;

@@ -75,6 +75,8 @@ struct SendParams {
   /// Invoked once the payload buffer is reusable (both send flavours copy,
   /// so this fires before the call returns — kept for API fidelity).
   std::function<void()> local_done;
+  /// Causal trace id carried through to the Packet (0 = untraced).
+  std::uint64_t cid = 0;
 };
 
 /// One PAMI context: a reception FIFO, a lockless work queue, and the send

@@ -20,6 +20,19 @@ enum class EventKind : std::uint8_t {
   // Converse machine layer (runtime-gated by MachineConfig::trace_events).
   kMsgEnqueue = 0,   ///< instant; arg = destination PE rank
   kMsgDequeue,       ///< instant; arg = handler id
+  // Message-lifecycle hops (cid-stamped; the causal trace the post-mortem
+  // analyzer in analysis.hpp reconstructs per-message lifecycles from).
+  kMsgSend,          ///< instant; a PE handed a message to the runtime;
+                     ///< arg = destination PE rank
+  kNetInject,        ///< instant; packet entered the fabric; arg = dst EP
+  kNetBacklog,       ///< instant; send parked in the reliability
+                     ///< backpressure backlog; arg = dst EP
+  kNetRetransmit,    ///< instant; reliability layer re-injected an unacked
+                     ///< packet; arg = dst EP
+  kNetDeliver,       ///< instant; packet landed in a reception FIFO;
+                     ///< arg = dst EP
+  kMsgRecv,          ///< instant; dispatch callback invoked on the
+                     ///< advancing thread; arg = origin EP
   kHandlerBegin,     ///< span; arg = handler id
   kHandlerEnd,       ///< span; arg = handler id
   kIdleBegin,        ///< span; idle-poll interval opened
@@ -53,6 +66,12 @@ inline const char* kind_name(EventKind k) noexcept {
   switch (k) {
     case EventKind::kMsgEnqueue: return "msg.enqueue";
     case EventKind::kMsgDequeue: return "msg.dequeue";
+    case EventKind::kMsgSend: return "msg.send";
+    case EventKind::kNetInject: return "net.inject";
+    case EventKind::kNetBacklog: return "net.backlog";
+    case EventKind::kNetRetransmit: return "net.retransmit";
+    case EventKind::kNetDeliver: return "net.deliver";
+    case EventKind::kMsgRecv: return "msg.recv";
     case EventKind::kHandlerBegin:
     case EventKind::kHandlerEnd: return "handler";
     case EventKind::kIdleBegin:
@@ -105,10 +124,17 @@ inline EventKind end_of(EventKind begin) noexcept {
 /// One trace record.  Timestamps are nanoseconds: host `now_ns()` for the
 /// functional runtime, simulated-time-in-ns for the DES engine — either
 /// way monotone per emitting track, which is all the exporters require.
+///
+/// `cid` is the causal (per-message) trace id: stamped into a message at
+/// send time and carried through every lifecycle hop, so the analyzer can
+/// reassemble one message's journey across tracks.  Zero means "not part
+/// of a message lifecycle" — every pre-existing emit site stays valid
+/// because the field is trailing and defaulted.
 struct Event {
   std::uint64_t t_ns;
   std::uint32_t arg;
   EventKind kind;
+  std::uint64_t cid = 0;
 };
 
 }  // namespace bgq::trace

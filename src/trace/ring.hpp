@@ -37,10 +37,17 @@ class EventRing {
   /// drop) when the ring is full.
   bool emit(Event ev) noexcept {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head - tail_.load(std::memory_order_acquire) >= size_) {
+    const std::uint64_t pending = head - tail_.load(std::memory_order_acquire);
+    if (pending >= size_) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
       BGQ_SCHED_POINT("trace.emit.dropped");
       return false;
+    }
+    // Occupancy high-water mark (producer-only write): makes a ring that
+    // ran near-full — and therefore a trace that is about to bias — visible
+    // in metrics_report() even when no event was actually dropped yet.
+    if (pending + 1 > hwm_.load(std::memory_order_relaxed)) {
+      hwm_.store(pending + 1, std::memory_order_relaxed);
     }
     slots_[head & mask_] = ev;
     BGQ_SCHED_POINT("trace.emit.staged");
@@ -74,6 +81,11 @@ class EventRing {
     return head_.load(std::memory_order_acquire);
   }
 
+  /// Highest occupancy ever reached (events staged and not yet drained).
+  std::uint64_t high_water() const noexcept {
+    return hwm_.load(std::memory_order_relaxed);
+  }
+
   /// Approximate fill (exact when quiescent).
   std::size_t pending() const noexcept {
     return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
@@ -88,6 +100,7 @@ class EventRing {
   alignas(kL2Line) std::atomic<std::uint64_t> head_{0};   // producer-owned
   alignas(kL2Line) std::atomic<std::uint64_t> tail_{0};   // consumer-owned
   alignas(kL2Line) std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> hwm_{0};                     // producer-owned
 };
 
 }  // namespace bgq::trace

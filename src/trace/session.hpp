@@ -30,6 +30,7 @@ struct Track {
   std::uint32_t tid = 0;
   std::string name;
   std::uint64_t dropped = 0;
+  std::uint64_t high_water = 0;  ///< peak ring occupancy at last collect
   std::vector<Event> events;
 };
 
@@ -85,8 +86,29 @@ class Session {
       t.name = slots_[i]->name;
       slots_[i]->ring.drain(t.events);
       t.dropped = slots_[i]->ring.dropped();
+      t.high_water = slots_[i]->ring.high_water();
     }
     return flat_;
+  }
+
+  /// Per-ring loss/occupancy accounting without draining any events —
+  /// metrics_report() surfaces these so a truncated trace is visible
+  /// instead of silently biased.
+  struct RingStat {
+    std::string name;
+    std::uint64_t dropped = 0;
+    std::uint64_t high_water = 0;
+    std::size_t capacity = 0;
+  };
+  std::vector<RingStat> ring_stats() const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<RingStat> out;
+    out.reserve(slots_.size());
+    for (const auto& s : slots_) {
+      out.push_back({s->name, s->ring.dropped(), s->ring.high_water(),
+                     s->ring.capacity()});
+    }
+    return out;
   }
 
   /// The trace accumulated by previous collect() calls.
@@ -120,7 +142,7 @@ class Session {
 
   const bool enabled_;
   const std::size_t ring_capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Slot>> slots_;
   FlatTrace flat_;
 
@@ -135,6 +157,19 @@ inline thread_local EventRing* Session::tls_ring_ = nullptr;
 /// it only when tracing is compiled in.
 inline void emit_here(EventKind kind, std::uint32_t arg) noexcept {
   if (EventRing* r = Session::thread_ring()) r->emit({now_ns(), arg, kind});
+}
+
+/// Cid-stamped variant for message-lifecycle hops; returns the timestamp
+/// used (0 when unbound) so callers can reuse it for online histograms
+/// without a second clock read.
+inline std::uint64_t emit_here(EventKind kind, std::uint32_t arg,
+                               std::uint64_t cid) noexcept {
+  if (EventRing* r = Session::thread_ring()) {
+    const std::uint64_t t = now_ns();
+    r->emit({t, arg, kind, cid});
+    return t;
+  }
+  return 0;
 }
 
 }  // namespace bgq::trace

@@ -19,12 +19,15 @@
 #pragma once
 
 #include "common/timing.hpp"
+#include "trace/analysis.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/event.hpp"
+#include "trace/histogram.hpp"
 #include "trace/registry.hpp"
 #include "trace/ring.hpp"
 #include "trace/session.hpp"
 #include "trace/summary.hpp"
+#include "trace/trace_io.hpp"
 
 namespace bgq::trace {
 

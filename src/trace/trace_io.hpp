@@ -1,0 +1,119 @@
+// Flat-trace serialization: the `bgq-trace-v1` JSON schema that carries a
+// collected Session (every track, every event, drop accounting) out of
+// the process and into the bgq-prof post-mortem analyzer.
+//
+// Layout:
+//   {
+//     "schema": "bgq-trace-v1",
+//     "t0_ns": <absolute ns of the earliest event>,
+//     "tracks": [
+//       { "pid": 0, "tid": 0, "name": "pe0",
+//         "dropped": 0, "high_water": 12,
+//         "events": [ { "t": 123, "k": 7, "a": 1, "c": 4294967297 }, ... ]
+//       }, ...
+//     ]
+//   }
+//
+// Event timestamps are re-based to t0_ns so every number in the file fits
+// comfortably in a JSON double (the steady clock's absolute nanoseconds
+// would not after ~104 days of uptime); the analyzer only ever consumes
+// differences, so the re-base is lossless for it.  t0_ns is one ns before
+// the earliest event, keeping every written timestamp >= 1 — a zero
+// timestamp is the analyzer's "hop absent" sentinel.  `k` is the numeric
+// EventKind, `c` is the causal id and is omitted when zero.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/event.hpp"
+#include "trace/json.hpp"
+#include "trace/json_read.hpp"
+#include "trace/session.hpp"
+
+namespace bgq::trace {
+
+inline void write_flat_trace(std::ostream& os, const FlatTrace& flat) {
+  std::uint64_t t0 = UINT64_MAX;
+  for (const Track& t : flat.tracks) {
+    for (const Event& e : t.events) t0 = e.t_ns < t0 ? e.t_ns : t0;
+  }
+  // Base one ns before the earliest event: written timestamps stay >= 1,
+  // and 0 remains free as the analyzer's "hop absent" sentinel.
+  t0 = t0 == UINT64_MAX ? 0 : (t0 > 0 ? t0 - 1 : 0);
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "bgq-trace-v1");
+  w.kv("t0_ns", t0);
+  w.key("tracks");
+  w.begin_array();
+  for (const Track& t : flat.tracks) {
+    w.begin_object();
+    w.kv("pid", t.pid);
+    w.kv("tid", t.tid);
+    w.kv("name", std::string_view(t.name));
+    w.kv("dropped", t.dropped);
+    w.kv("high_water", t.high_water);
+    w.key("events");
+    w.begin_array();
+    for (const Event& e : t.events) {
+      w.begin_object();
+      w.kv("t", e.t_ns - t0);
+      w.kv("k", static_cast<std::uint64_t>(e.kind));
+      w.kv("a", e.arg);
+      if (e.cid != 0) w.kv("c", e.cid);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+/// Parse a bgq-trace-v1 document.  Timestamps come back re-based (the
+/// file's t0_ns maps to 0); throws on malformed JSON or a wrong schema.
+inline FlatTrace read_flat_trace(const std::string& text) {
+  const json::ValuePtr root = json::parse(text);
+  if (!root->is_object() || root->at("schema").str != "bgq-trace-v1") {
+    throw std::runtime_error("not a bgq-trace-v1 document");
+  }
+  FlatTrace flat;
+  for (const json::ValuePtr& tv : root->at("tracks").arr) {
+    Track t;
+    t.pid = static_cast<std::uint32_t>(tv->u64("pid"));
+    t.tid = static_cast<std::uint32_t>(tv->u64("tid"));
+    t.name = tv->at("name").str;
+    t.dropped = tv->u64("dropped");
+    t.high_water = tv->u64("high_water");
+    for (const json::ValuePtr& ev : tv->at("events").arr) {
+      Event e;
+      e.t_ns = ev->u64("t");
+      const std::uint64_t k = ev->u64("k");
+      if (k >= kEventKindCount) {
+        throw std::runtime_error("bad event kind " + std::to_string(k));
+      }
+      e.kind = static_cast<EventKind>(k);
+      e.arg = static_cast<std::uint32_t>(ev->u64("a"));
+      e.cid = ev->get("c") != nullptr ? ev->u64("c") : 0;
+      t.events.push_back(e);
+    }
+    flat.tracks.push_back(std::move(t));
+  }
+  return flat;
+}
+
+/// Convenience: slurp a stream and parse it.
+inline FlatTrace read_flat_trace(std::istream& is) {
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return read_flat_trace(text);
+}
+
+}  // namespace bgq::trace

@@ -60,16 +60,18 @@ TEST(NetworkParams, BgpIsSlowerThanBgq) {
 }
 
 TEST(Message, HeaderLayoutAndAccessors) {
-  static_assert(sizeof(bgq::cvs::MsgHeader) == 16);
-  alignas(16) unsigned char raw[64] = {};
+  static_assert(sizeof(bgq::cvs::MsgHeader) == 32);
+  alignas(16) unsigned char raw[80] = {};
   auto* m = bgq::cvs::Message::from_raw(raw);
   m->header().payload_bytes = 48;
   m->header().handler = 7;
   m->header().src_pe = 3;
   m->header().dst_pe = 5;
+  m->header().trace_id = (std::uint64_t{4} << 32) | 9;
   EXPECT_EQ(m->payload_bytes(), 48u);
-  EXPECT_EQ(m->total_bytes(), 64u);
-  EXPECT_EQ(reinterpret_cast<unsigned char*>(m->payload()), raw + 16);
+  EXPECT_EQ(m->total_bytes(), 80u);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(m->payload()), raw + 32);
+  EXPECT_EQ(m->header().trace_id >> 32, 4u);
 }
 
 TEST(PoolAllocator, SteadyStateRecyclingIsAllPoolHits) {
