@@ -6,11 +6,19 @@
 // (retransmits, backpressure stalls) that explain the slowdown.  The 0% row
 // runs the zero-fault fast path — no sequencing, no acks — so the gap to
 // the 0.1% row is the full price of turning the reliability layer on.
+//
+// --crash switches to the checkpoint-period ablation: the FT mini-FFT runs
+// with an injected mid-run process crash at checkpoint periods of 2, 5, 20,
+// and 50 ms, reporting total runtime, restore-protocol time, detection
+// time, and checkpoint volume.  Shorter periods pay more snapshot overhead
+// but lose less work to the rollback; every row must still reproduce the
+// crash-free digest bit-identically.
 #include <atomic>
 #include <cstring>
 #include <string>
 
 #include "bench_json.hpp"
+#include "charm/ft_apps.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timing.hpp"
@@ -133,10 +141,126 @@ void run_flood(const cvs::MachineConfig& cfg, std::size_t bytes, int msgs,
   harvest(machine, r);
 }
 
+// ---------------------------------------------------------------------------
+// --crash: checkpoint-period vs recovery-time ablation
+// ---------------------------------------------------------------------------
+
+struct CrashResult {
+  double total_ms = 0;
+  double recovery_us = 0;
+  double detect_us = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t digest = 0;
+  bool finished = false;
+};
+
+// Big enough that the run spans many checkpoint periods and the mid-run
+// crash lands several iterations past the seed checkpoint.
+constexpr std::size_t kFtGrid = 32;
+constexpr std::size_t kFtElems = 4;
+constexpr std::uint32_t kFtIters = 100;
+constexpr const char* kCrashPlan = "crash@1:1500msg";
+
+CrashResult run_crash(std::uint32_t period_ms, const char* plan) {
+  cvs::MachineConfig cfg;
+  cfg.nodes = 4;
+  cfg.mode = cvs::Mode::kSmp;
+  cfg.workers_per_process = 1;
+  cfg.ft.enabled = true;
+  cfg.ft.checkpoint_period_ms = period_ms;
+  cfg.ft.heartbeat_period_ms = 2;
+  cfg.ft.failure_timeout_ms = 15;
+  cfg.ft.watchdog_abort = false;
+  if (plan != nullptr) cfg.faults = net::FaultPlan::parse(plan);
+
+  cvs::Machine machine(cfg);
+  charm::Runtime rt(machine);
+  charm::FtFft2D app(rt, kFtGrid, kFtElems, kFtIters);
+  const std::uint64_t t0 = now_ns();
+  machine.run([&](cvs::Pe& pe) {
+    if (pe.rank() == 0) app.start(pe);
+  });
+  const std::uint64_t t1 = now_ns();
+
+  CrashResult r;
+  r.total_ms = static_cast<double>(t1 - t0) * 1e-6;
+  r.digest = app.digest();
+  r.finished = app.finished();
+  const auto* mgr = machine.ft_manager();
+  if (mgr != nullptr) {
+    r.recovery_us = static_cast<double>(mgr->recovery_ns()) * 1e-3;
+    r.detect_us = static_cast<double>(mgr->detect_ns()) * 1e-3;
+    r.checkpoints = mgr->checkpoints();
+    r.ckpt_bytes = mgr->checkpoint_bytes();
+    r.recoveries = mgr->recoveries();
+  }
+  return r;
+}
+
+int run_crash_ablation(bench::JsonReport& json) {
+  std::printf("== Checkpoint-period ablation: FT mini-FFT with a mid-run "
+              "crash ==\n");
+  std::printf("plan %s on a 4-process machine; every row must match the "
+              "crash-free digest\n\n", kCrashPlan);
+
+  const CrashResult ref = run_crash(/*period_ms=*/5, /*plan=*/nullptr);
+  if (!ref.finished) {
+    std::fprintf(stderr, "crash-free reference run did not finish\n");
+    return 1;
+  }
+
+  constexpr std::uint32_t kPeriodsMs[] = {2, 5, 20, 50};
+  TextTable table({"period_ms", "total_ms", "recovery_us", "detect_us",
+                   "checkpoints", "ckpt_kb", "recoveries", "digest_ok"});
+  bool all_ok = true;
+  for (const std::uint32_t period : kPeriodsMs) {
+    const CrashResult r = run_crash(period, kCrashPlan);
+    const bool ok = r.finished && r.digest == ref.digest;
+    all_ok = all_ok && ok;
+    table.row(period, r.total_ms, r.recovery_us, r.detect_us, r.checkpoints,
+              static_cast<double>(r.ckpt_bytes) / 1024.0, r.recoveries,
+              ok ? 1 : 0);
+    const std::string prefix =
+        "faults.crash.period_" + std::to_string(period) + "ms";
+    json.add(prefix + ".total_ms", r.total_ms);
+    json.add(prefix + ".recovery_us", r.recovery_us);
+    json.add(prefix + ".detect_us", r.detect_us);
+    json.add(prefix + ".checkpoints", r.checkpoints);
+    json.add(prefix + ".checkpoint_bytes", r.ckpt_bytes);
+    json.add(prefix + ".recoveries", r.recoveries);
+    json.add(prefix + ".digest_ok", static_cast<std::uint64_t>(ok ? 1 : 0));
+  }
+  table.print();
+  std::printf("\ncrash-free reference: %.2f ms, digest %016llx\n",
+              ref.total_ms, static_cast<unsigned long long>(ref.digest));
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a crashed run diverged from the crash-free "
+                         "digest\n");
+    return 1;
+  }
+  const int rc = json.write();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::JsonReport json = bench::parse_args(argc, argv, "bench_faults");
+  bool crash_mode = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--crash") == 0) {
+      crash_mode = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (crash_mode) return run_crash_ablation(json);
+
   std::printf("== Chaos ablation: ping-pong + flood vs injected drop rate "
               "==\n");
   std::printf("0%% runs the zero-fault fast path (no acks); faulted rows "

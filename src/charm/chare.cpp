@@ -16,8 +16,31 @@ struct EntryHeader {
 struct ReduceHeader {
   std::uint16_t array_id;
   std::uint16_t pad = 0;
+  std::uint32_t element;  ///< contributor (duplicate detection)
   double value;
 };
+
+// Checkpoint blob framing: a run of records, each
+//   { array_id u16, kind u16, element u32, len u64, payload[len] }.
+// kind 0 = one element's pup bytes; kind 1 = the array's in-flight
+// reduction slots (saved with the reduction root's process).
+struct RecordHeader {
+  std::uint16_t array_id;
+  std::uint16_t kind;
+  std::uint32_t element;
+  std::uint64_t len;
+};
+constexpr std::uint16_t kRecElement = 0;
+constexpr std::uint16_t kRecReduction = 1;
+
+void append_record(std::vector<std::byte>& out, std::uint16_t array_id,
+                   std::uint16_t kind, std::uint32_t element,
+                   const std::vector<std::byte>& payload) {
+  RecordHeader h{array_id, kind, element, payload.size()};
+  const auto* p = reinterpret_cast<const std::byte*>(&h);
+  out.insert(out.end(), p, p + sizeof(h));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
 
 }  // namespace
 
@@ -42,8 +65,10 @@ void EntryContext::broadcast(int entry, const void* data,
 }
 
 void EntryContext::contribute(double value) {
-  array_.contribute(pe_, value);
+  array_.contribute(pe_, index_, value);
 }
+
+Runtime& EntryContext::runtime() noexcept { return array_.rt_; }
 
 // ---------------------------------------------------------------------------
 // ChareArray
@@ -54,6 +79,8 @@ ChareArray::ChareArray(Runtime& rt, cvs::Machine& machine, std::size_t n,
     : rt_(rt), machine_(&machine), n_(n), id_(id) {
   elements_.resize(n);
   for (std::size_t e = 0; e < n; ++e) elements_[e] = factory(e);
+  red_vals_.assign(n, 0.0);
+  red_got_.assign(n, 0);
 }
 
 void ChareArray::send_from(cvs::Pe& pe, std::size_t to, int entry,
@@ -73,15 +100,26 @@ void ChareArray::send_from(cvs::Pe& pe, std::size_t to, int entry,
 void ChareArray::deliver(cvs::Pe& pe, std::size_t elem, int entry,
                          const void* data, std::size_t bytes) {
   EntryContext ctx(*this, elem, pe);
+  if (entry == kResumeEntry) {
+    elements_[elem]->resume(ctx);
+    return;
+  }
   elements_[elem]->entry(entry, data, bytes, ctx);
 }
 
-void ChareArray::contribute(cvs::Pe& pe, double value) {
+void ChareArray::contribute(cvs::Pe& pe, std::size_t elem, double value) {
   cvs::Message* m =
       pe.alloc_message(sizeof(ReduceHeader), rt_.reduce_handler_);
-  ReduceHeader hdr{id_, 0, value};
+  ReduceHeader hdr{id_, 0, static_cast<std::uint32_t>(elem), value};
   std::memcpy(m->payload(), &hdr, sizeof(hdr));
-  pe.send_message(0, m);  // reductions root on PE 0
+  // Reductions root on the lowest live PE (PE 0 until a failure).
+  pe.send_message(machine_->ft_armed() ? machine_->lowest_live_pe() : 0, m);
+}
+
+void ChareArray::reduction_reset() {
+  red_vals_.assign(n_, 0.0);
+  red_got_.assign(n_, 0);
+  red_count_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -105,15 +143,29 @@ Runtime::Runtime(cvs::Machine& machine) : machine_(machine) {
         std::memcpy(&hdr, m->payload(), sizeof(hdr));
         pe.free_message(m);
         ChareArray& arr = *arrays_[hdr.array_id];
-        // Runs only on PE 0: single-threaded reduction fold.
-        arr.red_sum_ += hdr.value;
+        // Runs only on the root PE: single-threaded reduction fold.
+        // Per-element slots folded in index order make the total
+        // independent of arrival order (bit-identical across runs) and
+        // catch duplicate contributions from replayed traffic.
+        if (arr.red_got_[hdr.element] != 0) {
+          ++arr.red_dups_;
+          return;
+        }
+        arr.red_got_[hdr.element] = 1;
+        arr.red_vals_[hdr.element] = hdr.value;
         if (++arr.red_count_ == arr.size()) {
-          const double total = arr.red_sum_;
-          arr.red_sum_ = 0;
-          arr.red_count_ = 0;
+          double total = 0;
+          for (std::size_t e = 0; e < arr.size(); ++e) {
+            total += arr.red_vals_[e];
+          }
+          arr.reduction_reset();
           if (arr.reduction_client_) arr.reduction_client_(total, pe);
         }
       });
+
+  if (machine_.ft_armed() && machine_.ft_manager() != nullptr) {
+    machine_.ft_manager()->set_client(this);
+  }
 }
 
 ChareArray& Runtime::create_array(std::size_t n,
@@ -122,6 +174,87 @@ ChareArray& Runtime::create_array(std::size_t n,
   arrays_.push_back(std::unique_ptr<ChareArray>(
       new ChareArray(*this, machine_, n, id, std::move(factory))));
   return *arrays_.back();
+}
+
+bool Runtime::checkpoint_due() const {
+  ft::Manager* mgr = machine_.ft_manager();
+  return mgr != nullptr && mgr->checkpoint_due();
+}
+
+bool Runtime::start_checkpoint() {
+  ft::Manager* mgr = machine_.ft_manager();
+  return mgr != nullptr && mgr->request_checkpoint();
+}
+
+std::vector<std::byte> Runtime::save(unsigned proc) {
+  std::vector<std::byte> out;
+  const cvs::PeRank root =
+      machine_.ft_armed() ? machine_.lowest_live_pe() : 0;
+  for (const auto& arr : arrays_) {
+    for (std::size_t e = 0; e < arr->size(); ++e) {
+      if (machine_.process_of(arr->home(e)) != proc) continue;
+      ft::Pup p;
+      arr->elements_[e]->pup(p);
+      append_record(out, arr->id_, kRecElement,
+                    static_cast<std::uint32_t>(e), p.bytes());
+    }
+    if (machine_.process_of(root) == proc) {
+      // In-flight reduction slots travel with the root's blob: a rollback
+      // must also roll back partial folds, or a re-contributed value
+      // would double-count.
+      ft::Pup p;
+      p.vec(arr->red_vals_);
+      p.vec(arr->red_got_);
+      std::uint64_t cnt = arr->red_count_;
+      p(cnt);
+      append_record(out, arr->id_, kRecReduction, 0, p.bytes());
+    }
+  }
+  return out;
+}
+
+void Runtime::restore(
+    const std::map<unsigned, std::vector<std::byte>>& blobs) {
+  // Every array's reduction state is either restored from a blob below or
+  // genuinely empty at the checkpoint; reset first so stale partial folds
+  // from the failed run never survive.
+  for (const auto& arr : arrays_) arr->reduction_reset();
+  for (const auto& [proc, blob] : blobs) {
+    std::size_t pos = 0;
+    while (pos + sizeof(RecordHeader) <= blob.size()) {
+      RecordHeader h;
+      std::memcpy(&h, blob.data() + pos, sizeof(h));
+      pos += sizeof(h);
+      if (pos + h.len > blob.size()) {
+        throw std::runtime_error("charm: truncated checkpoint record");
+      }
+      std::vector<std::byte> payload(blob.begin() + pos,
+                                     blob.begin() + pos + h.len);
+      pos += h.len;
+      ChareArray& arr = *arrays_.at(h.array_id);
+      ft::Pup p(payload);
+      if (h.kind == kRecElement) {
+        arr.elements_.at(h.element)->pup(p);
+      } else if (h.kind == kRecReduction) {
+        p.vec(arr.red_vals_);
+        p.vec(arr.red_got_);
+        std::uint64_t cnt = 0;
+        p(cnt);
+        arr.red_count_ = static_cast<std::size_t>(cnt);
+      }
+    }
+  }
+}
+
+void Runtime::resume(cvs::Pe& pe) {
+  // Re-kick every element.  Coordinator elements restart the app's
+  // message flow from their (restored) step; everyone else's default
+  // resume() is a no-op message.
+  for (const auto& arr : arrays_) {
+    for (std::size_t e = 0; e < arr->size(); ++e) {
+      arr->send_from(pe, e, kResumeEntry, nullptr, 0);
+    }
+  }
 }
 
 }  // namespace bgq::charm

@@ -11,16 +11,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "converse/machine.hpp"
+#include "ft/manager.hpp"
+#include "ft/pup.hpp"
 
 namespace bgq::charm {
 
 class ChareArray;
 class Runtime;
+
+/// Reserved entry id: the runtime invokes Chare::resume instead of
+/// Chare::entry when a message carries it (checkpoint/recovery re-kick).
+inline constexpr int kResumeEntry = 0xFFFF;
 
 /// Context passed to an entry method: the element's identity plus the
 /// messaging verbs available inside a chare.
@@ -44,6 +51,9 @@ class EntryContext {
   /// reduction client.
   void contribute(double value);
 
+  /// The owning runtime (checkpoint_due / start_checkpoint live there).
+  Runtime& runtime() noexcept;
+
  private:
   ChareArray& array_;
   std::size_t index_;
@@ -59,6 +69,19 @@ class Chare {
   /// marshalled parameters (valid only during the call).
   virtual void entry(int entry, const void* data, std::size_t bytes,
                      EntryContext& ctx) = 0;
+
+  /// Serialize/deserialize this element's state (checkpoint contract; the
+  /// same code runs both directions — see ft/pup.hpp).  The default
+  /// refuses loudly: a chare that never checkpoints needs no pup, but one
+  /// that reaches a checkpoint without implementing it is a bug.
+  virtual void pup(ft::Pup&) {
+    throw std::logic_error("chare reached a checkpoint without a pup()");
+  }
+
+  /// Re-kick after a checkpoint commits or a rollback restores this
+  /// element (the kResumeEntry message).  Elements that drive the app
+  /// (coordinators) re-broadcast their current step; default is a no-op.
+  virtual void resume(EntryContext&) {}
 };
 
 /// A distributed array of chares.
@@ -69,13 +92,30 @@ class ChareArray {
 
   std::size_t size() const noexcept { return n_; }
 
-  /// PE owning element e (static round-robin placement).
+  /// PE owning element e: static round-robin placement, failure-aware.
+  /// With nobody declared dead this is exactly `e mod P` (the original
+  /// static map).  After a failure, elements whose home survives stay
+  /// put; orphaned elements re-home round-robin onto the live PEs.  The
+  /// map is a pure function of (e, dead mask), so every PE computes the
+  /// same placement without coordination.
   cvs::PeRank home(std::size_t e) const {
-    return static_cast<cvs::PeRank>(e % machine_->pe_count());
+    const auto np = static_cast<cvs::PeRank>(machine_->pe_count());
+    const auto h = static_cast<cvs::PeRank>(e % np);
+    if (!machine_->ft_armed() || machine_->dead_mask() == 0) return h;
+    if (!machine_->process_dead(machine_->process_of(h))) return h;
+    // Orphaned element: deterministic round-robin over surviving PEs.
+    std::vector<cvs::PeRank> live;
+    live.reserve(np);
+    for (cvs::PeRank p = 0; p < np; ++p) {
+      if (!machine_->process_dead(machine_->process_of(p))) live.push_back(p);
+    }
+    if (live.empty()) return h;
+    return live[e % live.size()];
   }
 
   /// Register the callback that receives completed sum reductions (runs
-  /// on PE 0).  Set before Machine::run().
+  /// on the reduction root: PE 0, or the lowest live PE once failures are
+  /// in play).  Set before Machine::run().
   void set_reduction_client(ReductionClient fn) {
     reduction_client_ = std::move(fn);
   }
@@ -83,6 +123,11 @@ class ChareArray {
   /// Send from outside any chare (e.g. from the init function).
   void send_from(cvs::Pe& pe, std::size_t to, int entry, const void* data,
                  std::size_t bytes);
+
+  /// Contributions that arrived twice for the same element in one
+  /// reduction round (replayed pre-rollback traffic); detected and
+  /// dropped, never double-folded.
+  std::uint64_t reduction_duplicates() const noexcept { return red_dups_; }
 
  private:
   friend class Runtime;
@@ -93,7 +138,8 @@ class ChareArray {
 
   void deliver(cvs::Pe& pe, std::size_t elem, int entry, const void* data,
                std::size_t bytes);
-  void contribute(cvs::Pe& pe, double value);
+  void contribute(cvs::Pe& pe, std::size_t elem, double value);
+  void reduction_reset();
 
   Runtime& rt_;
   cvs::Machine* machine_;
@@ -101,15 +147,26 @@ class ChareArray {
   std::uint16_t id_;
   std::vector<std::unique_ptr<Chare>> elements_;  // by element index
 
-  // Reduction state (owned by PE 0's thread via messages).
+  // Reduction state (owned by the root PE's thread via messages).
+  // Per-element contribution slots, folded in index order when full:
+  // the total is bit-identical regardless of message arrival order, and
+  // a duplicate contribution (pre-rollback replay) is detectable.
   ReductionClient reduction_client_;
-  double red_sum_ = 0;
+  std::vector<double> red_vals_;
+  std::vector<std::uint8_t> red_got_;
   std::size_t red_count_ = 0;
+  std::uint64_t red_dups_ = 0;
 };
 
 /// Owns the chare arrays of one Machine and the Converse handler they
 /// share.  Create before Machine::run(); create all arrays before run().
-class Runtime {
+///
+/// On an FT-armed machine the Runtime is also the checkpoint protocol's
+/// application client: save() packs every element homed on a process
+/// (plus in-flight reduction slots) via pup, restore() unpacks the blobs
+/// back into the elements after a rollback, and resume() re-kicks every
+/// element with a kResumeEntry message.
+class Runtime : public ft::Client {
  public:
   explicit Runtime(cvs::Machine& machine);
 
@@ -117,6 +174,23 @@ class Runtime {
   ChareArray& create_array(std::size_t n, ChareArray::Factory factory);
 
   cvs::Machine& machine() noexcept { return machine_; }
+
+  // ---- checkpoint control (app-cooperative) ------------------------------
+  // A message-driven app never quiesces on its own; the app asks for a
+  // checkpoint at a step boundary (no application messages outstanding).
+
+  /// True when the configured checkpoint period has elapsed.
+  bool checkpoint_due() const;
+
+  /// Request a coordinated checkpoint; workers run it when their queues
+  /// drain.  The app must defer its next step until resume() re-kicks it.
+  bool start_checkpoint();
+
+  // ---- ft::Client --------------------------------------------------------
+  std::vector<std::byte> save(unsigned proc) override;
+  void restore(
+      const std::map<unsigned, std::vector<std::byte>>& blobs) override;
+  void resume(cvs::Pe& pe) override;
 
  private:
   friend class ChareArray;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/spin.hpp"
+#include "ft/config.hpp"
 #include "net/fault.hpp"
 #include "net/params.hpp"
 #include "pami/reliability.hpp"
@@ -80,6 +81,12 @@ struct MachineConfig {
 
   /// Reliability tuning (windows, timeouts; pami/reliability.hpp).
   pami::ReliabilityParams reliability{};
+
+  /// Fault tolerance: checkpoint/restart protocol and hang watchdog
+  /// (ft/config.hpp).  Crash events in a fault plan fire only when
+  /// `ft.armed()` — otherwise they are stripped, so an env-wide plan with
+  /// crashes is safe for non-FT machines.
+  ft::Config ft{};
 
   /// Lockless-ring capacity of each reception FIFO, in packets.  Beyond
   /// it, deliveries spill to a mutex-protected overflow queue (counted as

@@ -7,6 +7,7 @@
 #include "alloc/arena_allocator.hpp"
 #include "alloc/pool_allocator.hpp"
 #include "common/timing.hpp"
+#include "ft/manager.hpp"
 #include "trace/trace_io.hpp"
 
 namespace bgq::cvs {
@@ -17,6 +18,10 @@ namespace {
 constexpr std::uint16_t kDispatchEager = 1;
 constexpr std::uint16_t kDispatchRzvReq = 2;
 constexpr std::uint16_t kDispatchRzvAck = 3;
+// Best-effort peer heartbeat (fault tolerance): the packet's arrival
+// already refreshed the sender's last-heard stamp at inject time, so the
+// dispatch itself is a no-op.
+constexpr std::uint16_t kDispatchHeartbeat = 4;
 
 /// Rendezvous control payload: the source message, read back by rget and
 /// freed on ack (same address space stands in for the memory-region
@@ -78,6 +83,10 @@ void Pe::send_message(PeRank dst, Message* m) {
   Machine& mach = machine();
   const CounterIds& ids = mach.counter_ids();
   counters_->add(ids.msgs_sent);
+  if (mach.ft_armed()) {
+    m->header().epoch = static_cast<std::uint16_t>(mach.msg_epoch());
+    mach.note_sent();
+  }
   if (ring_ != nullptr) {
     // Stamp the causal id (origin PE + per-PE sequence, kept below 2^53 so
     // it survives the JSON exports' doubles) and open the lifecycle.  The
@@ -133,6 +142,18 @@ void Pe::enqueue(Message* m) {
 }
 
 void Pe::execute(Message* m) {
+  Machine& mach = machine();
+  if (mach.ft_armed()) {
+    // Stale-epoch discard: the message was sent before a rollback, so
+    // executing it would double-apply pre-crash work.  Touches neither
+    // quiescence counter — the rollback already re-zeroed them.
+    if (m->header().epoch !=
+        static_cast<std::uint16_t>(mach.msg_epoch())) {
+      mach.note_stale_drop();
+      free_message(m);
+      return;
+    }
+  }
   const HandlerId h = m->header().handler;
   // The handler owns (and may free or forward) the message: capture the
   // causal id before invoking it.
@@ -144,6 +165,7 @@ void Pe::execute(Message* m) {
   const CounterIds& ids = machine().counter_ids();
   counters_->add(ids.busy_ns, t1 - t0);
   counters_->add(ids.msgs_executed);
+  if (mach.ft_armed()) mach.note_executed();
   if (ring_) {
     ring_->emit({t1, h, trace::EventKind::kHandlerEnd, cid});
     if (cid != 0) {
@@ -181,9 +203,21 @@ void Pe::scheduler_loop() {
   Machine& mach = machine();
   const IdlePollPolicy policy = mach.config().idle_policy;
   const CounterIds& ids = mach.counter_ids();
+  const bool ft = mach.ft_armed();
+  ft::Manager* mgr = ft ? mach.ft_manager() : nullptr;
   bool idle = false;
   while (!mach.stopping()) {
+    if (ft && mach.process_killed(process_.endpoint())) break;  // crashed
     if (pump_one()) {
+      if (idle) {
+        idle = false;
+        if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
+      }
+      continue;
+    }
+    // FT protocol work (checkpoint / recovery) only once the local queue
+    // is drained — rendezvous with the queue's messages already applied.
+    if (mgr != nullptr && mgr->poll(*this)) {
       if (idle) {
         idle = false;
         if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
@@ -258,6 +292,27 @@ void Process::register_dispatches() {
                         [this](const pami::DispatchArgs& a) {
                           on_rendezvous_ack(a);
                         });
+  // Heartbeats carry no data: their inject already refreshed the fabric's
+  // last-heard stamp for the sender, which is all the detector reads.
+  client_->set_dispatch(kDispatchHeartbeat, [](const pami::DispatchArgs&) {});
+}
+
+void Process::post_heartbeats() {
+  // Runs on the monitor thread: hand the sends to whichever thread
+  // advances context 0 (the PAMI thread contract's post_work exception).
+  pami::Context& ctx = client_->context(0);
+  Machine* mach = &machine_;
+  const auto self = endpoint_;
+  ctx.post_work([mach, self, &ctx] {
+    for (std::size_t p = 0; p < mach->process_count(); ++p) {
+      if (p == self || mach->process_killed(p)) continue;
+      pami::SendParams hb;
+      hb.dest = static_cast<pami::EndpointId>(p);
+      hb.dispatch = kDispatchHeartbeat;
+      hb.best_effort = true;  // losing one is fine; the next refreshes
+      ctx.send_immediate(hb);
+    }
+  });
 }
 
 void Process::net_send(Pe& src_pe, PeRank dst, Message* m) {
@@ -451,11 +506,23 @@ Machine::Machine(MachineConfig cfg)
       cfg_.effective_processes_per_node(), cfg_.rec_fifo_capacity);
   // Chaos layer: an explicit plan in the config wins; otherwise the
   // BGQ_FAULT_PLAN environment variable lets any existing run go faulty.
-  const net::FaultPlan plan =
+  net::FaultPlan plan =
       cfg_.faults.enabled() ? cfg_.faults : net::FaultPlan::from_env();
+  // Crash events only fire on runs that armed fault tolerance: an
+  // environment-wide plan (the CI recovery job sets one) must not kill
+  // processes under tests that have no checkpoint/restart or watchdog to
+  // survive or even notice it.
+  if (!cfg_.ft.armed()) plan.crashes.clear();
   if (plan.enabled()) {
     fabric_->set_fault_plan(plan);
     cfg_.reliable = true;  // the runtime cannot survive drops without it
+  }
+  ft_armed_ = cfg_.ft.armed();
+  barrier_slots_ = std::vector<BarrierSlot>(cfg_.pe_count());
+  if (ft_armed_) {
+    if (cfg_.ft.enabled) fabric_->enable_liveness();
+    ft_ = std::make_unique<ft::Manager>(*this, cfg_.ft,
+                                        std::move(plan.crashes));
   }
   const std::size_t nproc = cfg_.process_count();
   processes_.reserve(nproc);
@@ -475,22 +542,50 @@ HandlerId Machine::register_handler(HandlerFn fn) {
 }
 
 void Machine::worker_barrier(Pe* self) {
-  // Sense-reversing barrier that keeps the caller's network progressing.
-  // A PE parked in a blocking barrier could never run its reliability
+  // Per-PE-slot barrier that keeps the caller's network progressing.  A PE
+  // parked in a blocking barrier could never run its reliability
   // retransmit timer; on a faulty fabric, peers still waiting on a dropped
   // message from that PE would then wait forever.
-  const std::uint64_t phase = barrier_phase_.load(std::memory_order_acquire);
-  if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-      pe_count()) {
-    barrier_arrived_.store(0, std::memory_order_relaxed);
-    barrier_phase_.fetch_add(1, std::memory_order_release);
-    return;
+  //
+  // Each PE counts its own arrivals; the barrier completes when every
+  // *live* PE's count has reached the caller's.  Per-slot counting (vs a
+  // shared sense-reversing counter) is what lets the barrier skip PEs of a
+  // declared-dead process without the shared count going permanently
+  // short.  The caller bails out if its own process was killed or the
+  // machine is stopping — its peers will stop waiting for it once the
+  // failure detector declares the process dead.
+  const std::size_t me = self->rank();
+  const std::uint64_t target =
+      barrier_slots_[me].n.fetch_add(1, std::memory_order_acq_rel) + 1;
+  pami::Context* ctx = self->owned_context();
+  const unsigned wpp = cfg_.effective_workers_per_process();
+  for (std::size_t i = 0; i < barrier_slots_.size(); ++i) {
+    while (barrier_slots_[i].n.load(std::memory_order_acquire) < target) {
+      if (stopping()) return;
+      if (ft_armed_) {
+        // A declared-dead or killed process's PEs are never arriving; a
+        // killed-but-undeclared slot must be skipped too, or a crash that
+        // lands mid-protocol wedges every survivor in this loop before
+        // the detector (which needs them to keep running) can declare it.
+        if (process_dead(i / wpp) || process_killed(i / wpp)) break;
+        if (process_killed(process_of(me))) return;  // we crashed
+      }
+      if (ctx != nullptr) ctx->advance();
+      std::this_thread::yield();
+    }
   }
-  pami::Context* ctx = self != nullptr ? self->owned_context() : nullptr;
-  while (barrier_phase_.load(std::memory_order_acquire) == phase) {
-    if (ctx != nullptr) ctx->advance();
-    std::this_thread::yield();
-  }
+}
+
+void Machine::kill_process(std::size_t p) {
+  // The failure itself, nothing more: endpoints blackhole (fabric refuses
+  // transfers to/from the process), comm threads stop, and the process's
+  // workers notice process_killed() at the top of their scheduler loops.
+  // Survivors learn of the death only through heartbeat silence — the
+  // detector, not this call, sets the declared-dead mask.
+  if (fabric_->endpoint_dead(static_cast<topo::NodeId>(p))) return;
+  fabric_->kill_endpoint(static_cast<topo::NodeId>(p));
+  processes_[p]->stop_comm_threads();
+  if (ft_) ft_->on_killed(static_cast<unsigned>(p));
 }
 
 void Machine::run(const std::function<void(Pe&)>& init) {
@@ -500,6 +595,7 @@ void Machine::run(const std::function<void(Pe&)>& init) {
   if (commthreads != 0) {
     for (auto& p : processes_) p->start_comm_threads(commthreads);
   }
+  if (ft_) ft_->start();  // monitor thread: crashes, heartbeats, watchdog
 
   std::vector<std::thread> workers;
   workers.reserve(pe_count());
@@ -518,6 +614,7 @@ void Machine::run(const std::function<void(Pe&)>& init) {
   }
   for (auto& t : workers) t.join();
 
+  if (ft_) ft_->stop();
   for (auto& p : processes_) p->stop_comm_threads();
 }
 
@@ -569,6 +666,7 @@ trace::Report Machine::metrics_report() {
   metrics_.set_gauge("net.fifo.spills", fabric_->fifo_spills());
   std::uint64_t retx = 0, dup_acks = 0, piggy = 0, alone = 0;
   std::uint64_t corrupt = 0, dedup = 0, stalls = 0;
+  std::uint64_t evicted = 0, dead_drops = 0;
   for (const auto& proc : processes_) {
     pami::Client& cl = proc->client();
     for (unsigned i = 0; i < cl.context_count(); ++i) {
@@ -580,6 +678,8 @@ trace::Report Machine::metrics_report() {
       corrupt += ctx.corrupt_drops();
       dedup += ctx.dedup_drops();
       stalls += ctx.backpressure_stalls();
+      evicted += ctx.dedup_evictions();
+      dead_drops += ctx.dead_peer_drops();
     }
   }
   metrics_.set_gauge("net.retransmits", retx);
@@ -589,6 +689,24 @@ trace::Report Machine::metrics_report() {
   metrics_.set_gauge("net.corrupt_drops", corrupt);
   metrics_.set_gauge("net.dedup_drops", dedup);
   metrics_.set_gauge("comm.backpressure_stalls", stalls);
+  metrics_.set_gauge("net.dedup.evicted", evicted);
+  metrics_.set_gauge("net.dead_peer_drops", dead_drops);
+  metrics_.set_gauge("net.blackholed", fabric_->blackholed());
+
+  // Fault-tolerance counters: same stable-key-set policy — all zeros on a
+  // run with no FT armed.
+  metrics_.set_gauge("ft.checkpoints", ft_ ? ft_->checkpoints() : 0);
+  metrics_.set_gauge("ft.checkpoints_skipped",
+                     ft_ ? ft_->checkpoints_skipped() : 0);
+  metrics_.set_gauge("ft.recoveries", ft_ ? ft_->recoveries() : 0);
+  metrics_.set_gauge("ft.crashes", ft_ ? ft_->crashes_fired() : 0);
+  metrics_.set_gauge("ft.heartbeats", ft_ ? ft_->heartbeats() : 0);
+  metrics_.set_gauge("ft.watchdog_dumps", ft_ ? ft_->watchdog_dumps() : 0);
+  metrics_.set_gauge("ft.checkpoint_bytes",
+                     ft_ ? ft_->checkpoint_bytes() : 0);
+  metrics_.set_gauge("ft.recovery_ns", ft_ ? ft_->recovery_ns() : 0);
+  metrics_.set_gauge("ft.detect_ns", ft_ ? ft_->detect_ns() : 0);
+  metrics_.set_gauge("ft.stale_drops", stale_drops());
 
   // Trace-ring health: total events lost to full rings and the worst
   // per-ring occupancy high-water mark.  Emitted unconditionally (zeros

@@ -33,6 +33,10 @@
 #include "topology/torus.hpp"
 #include "trace/trace.hpp"
 
+namespace bgq::ft {
+class Manager;
+}  // namespace bgq::ft
+
 namespace bgq::cvs {
 
 class Machine;
@@ -190,6 +194,10 @@ class Process {
   void stop_comm_threads();
   pami::CommThreadPool* comm_pool() { return comm_pool_.get(); }
 
+  /// Queue one round of best-effort peer heartbeats onto this process's
+  /// context-0 work queue (FT monitor thread calls this periodically).
+  void post_heartbeats();
+
  private:
   friend class Pe;
   friend class Machine;
@@ -263,8 +271,98 @@ class Machine {
   /// calling PE so the barrier can keep advancing its PAMI context while
   /// waiting — a PE blocked without network progress could never
   /// retransmit, which deadlocks barrier-synchronized apps on a lossy
-  /// fabric (the reason this is not a std::barrier).
-  void worker_barrier(Pe* self = nullptr);
+  /// fabric (the reason this is not a std::barrier).  Liveness-aware: PEs
+  /// of a declared-dead process are not waited for, and the caller bails
+  /// out if its own process dies or the machine stops.
+  void worker_barrier(Pe* self);
+
+  // ---- fault tolerance (src/ft/) -----------------------------------------
+
+  /// True when the run has any FT service armed (checkpoint/restart or
+  /// the hang watchdog) — gates every FT hook on the hot paths.
+  bool ft_armed() const noexcept { return ft_armed_; }
+  ft::Manager* ft_manager() noexcept { return ft_.get(); }
+
+  /// Current message epoch.  Stamped (truncated to 16 bits) into every
+  /// application message when FT is armed; execute() discards mismatches.
+  std::uint32_t msg_epoch() const noexcept {
+    return msg_epoch_.load(std::memory_order_acquire);
+  }
+  void bump_msg_epoch() noexcept {
+    msg_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Global quiescence counters: application messages sent vs executed
+  /// (FT-armed runs only; stale discards touch neither).
+  std::uint64_t ft_sent() const noexcept {
+    return ft_sent_.load(std::memory_order_acquire);
+  }
+  std::uint64_t ft_executed() const noexcept {
+    return ft_executed_.load(std::memory_order_acquire);
+  }
+  void note_sent() noexcept {
+    ft_sent_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void note_executed() noexcept {
+    ft_executed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// Recovery leader only, with every live worker parked: post-restart
+  /// quiescence accounting starts from zero (in-flight pre-crash messages
+  /// are stale and will touch neither counter).
+  void reset_ft_counters() noexcept {
+    ft_sent_.store(0, std::memory_order_release);
+    ft_executed_.store(0, std::memory_order_release);
+  }
+  std::uint64_t stale_drops() const noexcept {
+    return stale_drops_.load(std::memory_order_relaxed);
+  }
+  void note_stale_drop() noexcept {
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Crash a process: its fabric endpoints blackhole, its comm threads
+  /// stop, its workers break out of their scheduler loops.  Idempotent.
+  /// Survival is the FT manager's job — this is only the failure itself.
+  void kill_process(std::size_t p);
+
+  /// The process was killed (crash injection / true failure) — known
+  /// immediately, machine-internally.
+  bool process_killed(std::size_t p) const noexcept {
+    return fabric_->endpoint_dead(static_cast<topo::NodeId>(p));
+  }
+
+  /// The failure detector *declared* the process dead (heartbeat
+  /// silence).  Barriers, re-homing, and recovery key off this, not off
+  /// process_killed — survivors only act on what they could observe.
+  bool process_dead(std::size_t p) const noexcept {
+    return (dead_mask_.load(std::memory_order_acquire) >> p) & 1;
+  }
+  void declare_dead(std::size_t p) noexcept {
+    dead_mask_.fetch_or(1ull << p, std::memory_order_acq_rel);
+  }
+  std::uint64_t dead_mask() const noexcept {
+    return dead_mask_.load(std::memory_order_acquire);
+  }
+
+  /// Lowest PE rank on a live (not declared-dead) process — the protocol
+  /// leader and the reduction root.  Falls back to 0 if all are dead.
+  PeRank lowest_live_pe() const noexcept {
+    const std::uint64_t mask = dead_mask_.load(std::memory_order_acquire);
+    for (std::size_t p = 0; p < processes_.size(); ++p) {
+      if (((mask >> p) & 1) == 0) {
+        return static_cast<PeRank>(p * cfg_.effective_workers_per_process());
+      }
+    }
+    return 0;
+  }
+  std::size_t live_process_count() const noexcept {
+    std::size_t n = 0;
+    const std::uint64_t mask = dead_mask_.load(std::memory_order_acquire);
+    for (std::size_t p = 0; p < processes_.size(); ++p) {
+      n += ((mask >> p) & 1) == 0 ? 1 : 0;
+    }
+    return n;
+  }
 
   // ---- tracing & metrics (src/trace/) ------------------------------------
 
@@ -302,9 +400,26 @@ class Machine {
   std::vector<HandlerFn> handlers_;
   std::atomic<bool> stop_{false};
 
-  // Sense-reversing worker barrier (see worker_barrier).
-  std::atomic<std::size_t> barrier_arrived_{0};
-  std::atomic<std::uint64_t> barrier_phase_{0};
+  // Liveness-aware per-PE-slot barrier (see worker_barrier): each PE
+  // counts its own arrivals in a padded slot; a barrier completes when
+  // every *live* PE's count reaches the caller's.  Per-slot arrival
+  // counting is what lets the barrier skip dead PEs without a shared
+  // counter ever going stale.
+  struct alignas(64) BarrierSlot {
+    std::atomic<std::uint64_t> n{0};
+  };
+  std::vector<BarrierSlot> barrier_slots_;
+
+  // ---- fault tolerance ---------------------------------------------------
+  std::unique_ptr<ft::Manager> ft_;
+  bool ft_armed_ = false;
+  std::atomic<std::uint32_t> msg_epoch_{0};
+  std::atomic<std::uint64_t> ft_sent_{0};
+  std::atomic<std::uint64_t> ft_executed_{0};
+  std::atomic<std::uint64_t> stale_drops_{0};
+  // Declared-dead process bitmask (functional machines are tiny; 64
+  // processes is far beyond what one host can thread anyway).
+  std::atomic<std::uint64_t> dead_mask_{0};
 };
 
 }  // namespace bgq::cvs

@@ -21,7 +21,12 @@ using HandlerId = std::uint16_t;
 struct alignas(16) MsgHeader {
   std::uint32_t payload_bytes = 0;
   HandlerId handler = 0;
-  std::uint16_t flags = 0;
+  /// Checkpoint epoch the message belongs to (fault-tolerant machines
+  /// only; 0 otherwise).  Recovery bumps the machine epoch, so in-flight
+  /// messages from before the rollback carry a stale tag and are
+  /// discarded at execute time instead of double-applying.  Wraps at
+  /// 2^16 — fine, since at most two epochs are ever live at once.
+  std::uint16_t epoch = 0;
   PeRank src_pe = 0;
   PeRank dst_pe = 0;
   /// Causal trace id, stamped at send time when tracing is on; 0 means

@@ -1,0 +1,377 @@
+// Fault-tolerance manager implementation: see manager.hpp for the
+// protocol overview.  The monitor thread owns the cheap periodic duties
+// (crash schedule, heartbeats, failure detection, hang watchdog); the
+// checkpoint/recovery protocol itself runs on the worker PEs via poll().
+#include "ft/manager.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timing.hpp"
+#include "converse/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace bgq::ft {
+
+namespace {
+constexpr std::uint64_t kMsPerNs = 1000u * 1000u;
+}  // namespace
+
+Manager::Manager(cvs::Machine& mach, Config cfg,
+                 std::vector<net::CrashEvent> crashes)
+    : mach_(mach),
+      cfg_(cfg),
+      crashes_(std::move(crashes)),
+      crash_fired_(crashes_.size(), false) {}
+
+Manager::~Manager() { stop(); }
+
+void Manager::start() {
+  const std::uint64_t now = now_ns();
+  run_start_ns_ = now;
+  last_hb_ns_ = now;
+  last_exec_ = 0;
+  last_progress_ns_ = now;
+  last_ckpt_ns_.store(now, std::memory_order_release);
+  // Seed liveness so nobody is declared dead before first traffic.
+  for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+    mach_.fabric().touch_liveness(static_cast<topo::NodeId>(p), now);
+  }
+  {
+    std::lock_guard<std::mutex> g(mon_mu_);
+    mon_stop_ = false;
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Manager::stop() {
+  {
+    std::lock_guard<std::mutex> g(mon_mu_);
+    mon_stop_ = true;
+  }
+  mon_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Manager::monitor_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mon_mu_);
+      mon_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                       [this] { return mon_stop_; });
+      if (mon_stop_) return;
+    }
+    const std::uint64_t now = now_ns();
+    fire_crashes(now);
+    if (cfg_.enabled) {
+      post_heartbeats(now);
+      detect_failures(now);
+    }
+    watchdog(now);
+  }
+}
+
+void Manager::fire_crashes(std::uint64_t now) {
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    if (crash_fired_[i]) continue;
+    const net::CrashEvent& ev = crashes_[i];
+    const bool due =
+        (ev.at_ms != 0 && now - run_start_ns_ >= ev.at_ms * kMsPerNs) ||
+        (ev.at_msgs != 0 && mach_.ft_sent() >= ev.at_msgs);
+    if (!due) continue;
+    crash_fired_[i] = true;
+    if (ev.process >= mach_.process_count()) continue;  // plan oversized
+    mach_.kill_process(ev.process);
+    crashes_fired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Manager::post_heartbeats(std::uint64_t now) {
+  if (now - last_hb_ns_ < cfg_.heartbeat_period_ms * kMsPerNs) return;
+  last_hb_ns_ = now;
+  for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+    if (mach_.process_killed(p)) continue;
+    mach_.process(p).post_heartbeats();
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Manager::detect_failures(std::uint64_t now) {
+  // Declared deaths drive everything downstream (barrier skips, the
+  // leader role, re-homing).  Detection runs during kRun and also during
+  // kCheckpoint — a crash landing mid-checkpoint must still be declared,
+  // or the survivors cycling the (killed-slot-skipping) barriers would
+  // wait forever for a leader that no longer exists.  Only kRecover is
+  // off-limits: the restore itself must see a frozen membership.
+  if (phase_.load(std::memory_order_acquire) == Phase::kRecover) return;
+  if (mach_.stopping()) return;
+  bool newly_dead = false;
+  for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+    if (mach_.process_dead(p)) continue;
+    const std::uint64_t heard =
+        mach_.fabric().last_heard(static_cast<topo::NodeId>(p));
+    const std::uint64_t age = now > heard ? now - heard : 0;
+    if (age < cfg_.failure_timeout_ms * kMsPerNs) continue;
+    // Silent past the timeout: declare it dead.  kill_process is
+    // idempotent — for an injected crash the endpoint is already dead and
+    // this is a no-op; for a genuine wedge it also cuts the process off,
+    // so the survivors' view and the fabric agree from here on.
+    mach_.kill_process(p);
+    mach_.declare_dead(p);
+    detect_ns_.store(age, std::memory_order_relaxed);
+    newly_dead = true;
+  }
+  if (!newly_dead) return;
+  if (mach_.live_process_count() == 0) {
+    unrecoverable("all processes dead");
+    return;
+  }
+  if (client_ == nullptr || store_.latest_complete() == 0) {
+    unrecoverable("process died before any committed checkpoint");
+    return;
+  }
+  // First epoch bump: every in-flight and queued pre-death message goes
+  // stale immediately.  Handlers racing this bump may still emit messages
+  // at the new epoch; the recovery leader bumps once more inside the
+  // barrier to invalidate those too.
+  mach_.bump_msg_epoch();
+  phase_.store(Phase::kRecover, std::memory_order_release);
+}
+
+void Manager::watchdog(std::uint64_t now) {
+  if (cfg_.watchdog_ms == 0) return;
+  const std::uint64_t exec = mach_.ft_executed();
+  if (mach_.stopping() ||
+      phase_.load(std::memory_order_acquire) != Phase::kRun ||
+      exec != last_exec_) {
+    // Progress (or a protocol phase that legitimately stalls the app):
+    // re-arm.  Heartbeats keep the fabric busy during a wedge, so the
+    // watchdog watches executed-message count, never raw transfers.
+    last_exec_ = exec;
+    last_progress_ns_ = now;
+    return;
+  }
+  if (now - last_progress_ns_ < cfg_.watchdog_ms * kMsPerNs) return;
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  dump_diagnostics("watchdog: no message executed within deadline");
+  if (cfg_.watchdog_abort) std::abort();
+  hang_.store(true, std::memory_order_release);
+  mach_.request_stop();
+}
+
+void Manager::unrecoverable(const char* why) {
+  dump_diagnostics(why);
+  if (cfg_.watchdog_abort) std::abort();
+  hang_.store(true, std::memory_order_release);
+  mach_.request_stop();
+}
+
+void Manager::dump_diagnostics(const char* why) {
+  const std::uint64_t now = now_ns();
+  std::fprintf(stderr, "=== bgq ft diagnostic dump: %s ===\n", why);
+  std::fprintf(
+      stderr,
+      "phase=%d epoch=%u ft_sent=%llu ft_executed=%llu stale_drops=%llu\n",
+      static_cast<int>(phase_.load(std::memory_order_acquire)),
+      mach_.msg_epoch(),
+      static_cast<unsigned long long>(mach_.ft_sent()),
+      static_cast<unsigned long long>(mach_.ft_executed()),
+      static_cast<unsigned long long>(mach_.stale_drops()));
+  for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+    const std::uint64_t heard =
+        mach_.fabric().last_heard(static_cast<topo::NodeId>(p));
+    std::fprintf(stderr,
+                 "proc %zu: killed=%d dead=%d last_heard_age_ms=%.1f\n", p,
+                 mach_.process_killed(p) ? 1 : 0,
+                 mach_.process_dead(p) ? 1 : 0,
+                 heard != 0 && now > heard
+                     ? static_cast<double>(now - heard) / 1e6
+                     : -1.0);
+    pami::Client& cl = mach_.process(p).client();
+    for (unsigned i = 0; i < cl.context_count(); ++i) {
+      const pami::Context& ctx = cl.context(i);
+      std::fprintf(
+          stderr,
+          "  ctx%u: outstanding=%zu backlog=%zu retransmits=%llu\n", i,
+          ctx.outstanding(), ctx.backlog_size(),
+          static_cast<unsigned long long>(ctx.retransmits()));
+    }
+  }
+  std::fprintf(stderr,
+               "fabric: blackholed=%llu drops=%llu transfers=%llu\n",
+               static_cast<unsigned long long>(mach_.fabric().blackholed()),
+               static_cast<unsigned long long>(
+                   mach_.fabric().faults_dropped()),
+               static_cast<unsigned long long>(mach_.fabric().transfers()));
+  if (mach_.trace_session().enabled()) {
+    const trace::FlatTrace& ft = mach_.trace_session().collect();
+    for (const auto& track : ft.tracks) {
+      const std::size_t n = track.events.size();
+      if (n == 0) continue;
+      std::fprintf(stderr, "trace tail %s:", track.name.c_str());
+      for (std::size_t i = n > 4 ? n - 4 : 0; i < n; ++i) {
+        const trace::Event& e = track.events[i];
+        std::fprintf(stderr, " [%s arg=%u t=%.3fms]",
+                     trace::kind_name(e.kind), e.arg,
+                     static_cast<double>(e.t_ns) / 1e6);
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+  std::fprintf(stderr, "=== end dump ===\n");
+}
+
+bool Manager::poll(cvs::Pe& pe) {
+  switch (phase_.load(std::memory_order_acquire)) {
+    case Phase::kRun:
+      return false;
+    case Phase::kCheckpoint:
+      do_checkpoint(pe);
+      return true;
+    case Phase::kRecover:
+      do_recover(pe);
+      return true;
+  }
+  return false;
+}
+
+bool Manager::request_checkpoint() {
+  if (!cfg_.enabled) return false;
+  Phase expected = Phase::kRun;
+  return phase_.compare_exchange_strong(expected, Phase::kCheckpoint,
+                                        std::memory_order_acq_rel);
+}
+
+bool Manager::checkpoint_due() const {
+  if (!cfg_.enabled || cfg_.checkpoint_period_ms == 0) return false;
+  // Until the first commit any failure is unrecoverable, so the first
+  // step boundary always checkpoints regardless of the period.
+  if (checkpoints_.load(std::memory_order_relaxed) == 0) return true;
+  return now_ns() - last_ckpt_ns_.load(std::memory_order_acquire) >=
+         cfg_.checkpoint_period_ms * kMsPerNs;
+}
+
+bool Manager::is_leader(const cvs::Pe& pe) const {
+  return pe.rank() == mach_.lowest_live_pe();
+}
+
+unsigned Manager::buddy_of(unsigned proc) const {
+  const std::size_t n = mach_.process_count();
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto q = static_cast<unsigned>((proc + k) % n);
+    if (!mach_.process_dead(q) && !mach_.process_killed(q)) return q;
+  }
+  return proc;  // no live buddy: single copy
+}
+
+bool Manager::wait_quiesce(cvs::Pe& pe) {
+  // The other live PEs are parked in the exit barrier, where each keeps
+  // advancing its own PAMI context — in the FT configurations (one worker
+  // per process) arrivals execute inline from that advance, so straggling
+  // messages drain and the sent/executed counts converge.  Bounded: an
+  // app that checkpoints mid-step (messages still crossing) makes no
+  // progress here and the checkpoint is skipped, not wedged.
+  pami::Context* ctx = pe.owned_context();
+  for (int iter = 0; iter < 200000; ++iter) {
+    if (mach_.ft_sent() == mach_.ft_executed()) return true;
+    if (mach_.stopping()) return false;
+    // A failure detected while we wait flips the phase to kRecover; the
+    // counts then can never converge (sends to the dead process are
+    // executed by no one), so give up and let recovery run.
+    if (phase_.load(std::memory_order_acquire) != Phase::kCheckpoint) {
+      return false;
+    }
+    if (ctx != nullptr) ctx->advance();
+    std::this_thread::yield();
+  }
+  return false;
+}
+
+void Manager::snapshot_all(std::uint64_t seq) {
+  for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+    if (mach_.process_dead(p) || mach_.process_killed(p)) continue;
+    const auto proc = static_cast<unsigned>(p);
+    store_.put(seq, proc, buddy_of(proc), client_->save(proc));
+  }
+}
+
+void Manager::do_checkpoint(cvs::Pe& pe) {
+  // Entry barrier: every live PE is inside the protocol with its local
+  // queue drained before anyone snapshots.
+  mach_.worker_barrier(&pe);
+  if (mach_.process_killed(mach_.process_of(pe.rank()))) return;
+  if (is_leader(pe)) {
+    const bool quiet = client_ != nullptr && wait_quiesce(pe);
+    // A killed-but-undeclared process means home() still maps elements
+    // onto it, so its share of the state would be missing from every
+    // blob: never commit such an epoch — skip, and let the detector
+    // (which also runs during this phase) turn the kill into a recovery.
+    bool intact = true;
+    for (std::size_t p = 0; p < mach_.process_count(); ++p) {
+      if (mach_.process_killed(p) && !mach_.process_dead(p)) intact = false;
+    }
+    if (quiet && intact) {
+      const std::uint64_t seq =
+          ckpt_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      snapshot_all(seq);
+      store_.commit(seq);
+      checkpoints_.fetch_add(1, std::memory_order_relaxed);
+      ckpt_bytes_.store(store_.resident_bytes(),
+                        std::memory_order_relaxed);
+    } else {
+      skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    last_ckpt_ns_.store(now_ns(), std::memory_order_release);
+    // The detector may have flipped the phase to kRecover while we
+    // worked; in that case leave it alone and skip the resume — the
+    // recovery leader re-kicks the app after the rollback instead.
+    Phase expected = Phase::kCheckpoint;
+    if (phase_.compare_exchange_strong(expected, Phase::kRun,
+                                       std::memory_order_acq_rel) &&
+        client_ != nullptr) {
+      client_->resume(pe);
+    }
+  }
+  // Exit barrier: non-leaders park here (advancing their contexts) until
+  // the leader has committed and reopened the run phase.
+  mach_.worker_barrier(&pe);
+}
+
+void Manager::do_recover(cvs::Pe& pe) {
+  mach_.worker_barrier(&pe);
+  if (mach_.process_killed(mach_.process_of(pe.rank()))) return;
+  if (is_leader(pe)) {
+    const std::uint64_t t0 = now_ns();
+    // Second epoch bump, with every survivor parked: messages emitted by
+    // handlers that raced the detector's first bump are now stale too.
+    // Quiescence accounting restarts from zero — stale discards touch
+    // neither counter, so the books stay balanced.
+    mach_.bump_msg_epoch();
+    mach_.reset_ft_counters();
+    const std::uint64_t seq = store_.latest_complete();
+    std::map<unsigned, std::vector<std::byte>> blobs;
+    for (unsigned proc : store_.procs(seq)) {
+      std::vector<std::byte> b;
+      if (store_.fetch(seq, proc, b)) blobs.emplace(proc, std::move(b));
+    }
+    client_->restore(blobs);
+    // Re-establish double redundancy immediately: the dead process took
+    // one holder of every blob with it, so survivors re-checkpoint the
+    // rolled-back state before new work begins.
+    const std::uint64_t nseq =
+        ckpt_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    snapshot_all(nseq);
+    store_.commit(nseq);
+    ckpt_bytes_.store(store_.resident_bytes(), std::memory_order_relaxed);
+    if (cfg_.reset_metrics_epoch) mach_.metrics().reset_epoch();
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    recovery_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+    last_ckpt_ns_.store(now_ns(), std::memory_order_release);
+    phase_.store(Phase::kRun, std::memory_order_release);
+    client_->resume(pe);
+  }
+  mach_.worker_barrier(&pe);
+}
+
+}  // namespace bgq::ft

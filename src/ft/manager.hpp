@@ -1,0 +1,173 @@
+// The fault-tolerance manager: crash injection, heartbeat failure
+// detection, coordinated buddy checkpointing, rollback recovery, and the
+// hang watchdog — the runtime service that turns the chaos-tolerant
+// machine of PR 3 into a failure-tolerant one.
+//
+// One Manager per fault-tolerant Machine.  It owns a monitor thread
+// (started/stopped by Machine::run) that fires scheduled crash events,
+// posts best-effort heartbeats, declares silent processes dead, and
+// watches global progress.  The heavyweight protocol work — quiescing,
+// snapshotting, restoring — runs on the worker PEs themselves via poll(),
+// which the scheduler loop calls when its queue is drained: workers park
+// in a progress-aware barrier while the leader (lowest live PE) drives
+// the protocol, exactly the shape of Charm++'s in-memory checkpointing.
+//
+// Epoch discipline: every application message carries the machine's
+// 16-bit epoch.  Detection bumps it once (in-flight and queued messages
+// go stale immediately); the recovery leader bumps it again inside the
+// barrier, after every handler has parked, so messages sent by handlers
+// that raced the first bump are stale too.  Only post-resume traffic
+// carries the live epoch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ft/config.hpp"
+#include "ft/store.hpp"
+#include "net/fault.hpp"
+
+namespace bgq::cvs {
+class Machine;
+class Pe;
+}  // namespace bgq::cvs
+
+namespace bgq::ft {
+
+/// The application-state hooks the checkpoint protocol drives — the
+/// charm layer's Runtime implements them (pup of chare-array elements
+/// plus in-flight reduction state).
+class Client {
+ public:
+  virtual ~Client() = default;
+
+  /// Serialize process `proc`'s share of application state.
+  virtual std::vector<std::byte> save(unsigned proc) = 0;
+
+  /// Roll all application state back to the checkpoint in `blobs`
+  /// (proc -> blob, one entry per process saved).  Runs with every live
+  /// worker parked; element re-homing onto survivors happens here.
+  virtual void restore(
+      const std::map<unsigned, std::vector<std::byte>>& blobs) = 0;
+
+  /// Re-kick the application after a checkpoint or recovery (the app
+  /// defers its next step while a snapshot is in progress).  Runs on the
+  /// leader PE; sends normal epoch-stamped messages.
+  virtual void resume(cvs::Pe& pe) = 0;
+};
+
+class Manager {
+ public:
+  Manager(cvs::Machine& mach, Config cfg,
+          std::vector<net::CrashEvent> crashes);
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Register the application-state hooks (the charm Runtime).  Must
+  /// outlive the run.
+  void set_client(Client* c) noexcept { client_ = c; }
+
+  /// Machine::run lifecycle: start() seeds liveness and launches the
+  /// monitor thread before workers spawn; stop() joins it after they
+  /// exit.
+  void start();
+  void stop();
+
+  /// Worker-scheduler hook, called when the PE's queue is drained.
+  /// Returns true when protocol work ran (checkpoint or recovery).
+  bool poll(cvs::Pe& pe);
+
+  /// Ask for a coordinated checkpoint (app-cooperative: call at a step
+  /// boundary, when no application messages are outstanding).  Returns
+  /// false when a checkpoint or recovery is already in progress.
+  bool request_checkpoint();
+
+  /// True when checkpoint_period_ms elapsed since the last snapshot.
+  bool checkpoint_due() const;
+
+  /// Bookkeeping hook for Machine::kill_process: the copies a dead
+  /// process held are gone.
+  void on_killed(unsigned proc) { store_.drop_holder(proc); }
+
+  /// Set when the watchdog fired with watchdog_abort == false.
+  bool hang_detected() const noexcept {
+    return hang_.load(std::memory_order_acquire);
+  }
+
+  CheckpointStore& store() noexcept { return store_; }
+
+  // ---- counters (ft.* gauges in Machine::metrics_report) ---------------
+  std::uint64_t checkpoints() const noexcept { return checkpoints_.load(); }
+  std::uint64_t checkpoints_skipped() const noexcept {
+    return skipped_.load();
+  }
+  std::uint64_t recoveries() const noexcept { return recoveries_.load(); }
+  std::uint64_t crashes_fired() const noexcept { return crashes_fired_.load(); }
+  std::uint64_t heartbeats() const noexcept { return heartbeats_.load(); }
+  std::uint64_t watchdog_dumps() const noexcept { return dumps_.load(); }
+  std::uint64_t checkpoint_bytes() const noexcept {
+    return ckpt_bytes_.load();
+  }
+  std::uint64_t recovery_ns() const noexcept { return recovery_ns_.load(); }
+  std::uint64_t detect_ns() const noexcept { return detect_ns_.load(); }
+
+ private:
+  enum class Phase : int { kRun, kCheckpoint, kRecover };
+
+  void monitor_loop();
+  void fire_crashes(std::uint64_t now);
+  void post_heartbeats(std::uint64_t now);
+  void detect_failures(std::uint64_t now);
+  void watchdog(std::uint64_t now);
+  void unrecoverable(const char* why);
+  void dump_diagnostics(const char* why);
+
+  void do_checkpoint(cvs::Pe& pe);
+  void do_recover(cvs::Pe& pe);
+  bool is_leader(const cvs::Pe& pe) const;
+  bool wait_quiesce(cvs::Pe& pe);
+  unsigned buddy_of(unsigned proc) const;
+  void snapshot_all(std::uint64_t seq);
+
+  cvs::Machine& mach_;
+  const Config cfg_;
+  Client* client_ = nullptr;
+  CheckpointStore store_;
+
+  std::vector<net::CrashEvent> crashes_;
+  std::vector<bool> crash_fired_;
+
+  std::atomic<Phase> phase_{Phase::kRun};
+  std::atomic<std::uint64_t> ckpt_seq_{0};
+  std::atomic<std::uint64_t> last_ckpt_ns_{0};
+
+  // Monitor thread.
+  std::thread monitor_;
+  std::mutex mon_mu_;
+  std::condition_variable mon_cv_;
+  bool mon_stop_ = false;
+  std::uint64_t run_start_ns_ = 0;
+  std::uint64_t last_hb_ns_ = 0;
+  std::uint64_t last_exec_ = 0;
+  std::uint64_t last_progress_ns_ = 0;
+
+  std::atomic<bool> hang_{false};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> crashes_fired_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> ckpt_bytes_{0};
+  std::atomic<std::uint64_t> recovery_ns_{0};
+  std::atomic<std::uint64_t> detect_ns_{0};
+};
+
+}  // namespace bgq::ft

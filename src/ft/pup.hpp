@@ -1,0 +1,84 @@
+// PUP (pack/unpack) — the minimal serialization contract chare elements
+// implement so the runtime can checkpoint and migrate their state.
+//
+// Mirrors Charm++'s PUP::er in miniature: one `pup(Pup&)` method per
+// chare describes its state once, and the same code both sizes/writes a
+// checkpoint and reads it back, so the two directions can never drift
+// apart.  Only trivially-copyable scalars and vectors thereof are
+// supported — enough for the mini-apps, and small enough to audit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace bgq::ft {
+
+class Pup {
+ public:
+  /// Packing: start empty and write.
+  Pup() : packing_(true) {}
+
+  /// Unpacking: wrap a checkpoint blob and read.
+  explicit Pup(const std::vector<std::byte>& data)
+      : packing_(false), data_(data) {}
+
+  bool packing() const noexcept { return packing_; }
+  bool unpacking() const noexcept { return !packing_; }
+
+  /// Scalar: copied bytewise in either direction.
+  template <typename T>
+  void operator()(T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pup() handles trivially-copyable types only");
+    if (packing_) {
+      const auto* p = reinterpret_cast<const std::byte*>(&v);
+      data_.insert(data_.end(), p, p + sizeof(T));
+    } else {
+      if (pos_ + sizeof(T) > data_.size()) {
+        throw std::out_of_range("Pup: checkpoint blob truncated");
+      }
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+      pos_ += sizeof(T);
+    }
+  }
+
+  /// Vector of scalars: length-prefixed; unpacking resizes.
+  template <typename T>
+  void vec(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pup().vec() handles trivially-copyable types only");
+    std::uint64_t n = v.size();
+    (*this)(n);
+    if (unpacking()) v.resize(static_cast<std::size_t>(n));
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
+    if (bytes == 0) return;
+    if (packing_) {
+      const auto* p = reinterpret_cast<const std::byte*>(v.data());
+      data_.insert(data_.end(), p, p + bytes);
+    } else {
+      if (pos_ + bytes > data_.size()) {
+        throw std::out_of_range("Pup: checkpoint blob truncated");
+      }
+      std::memcpy(v.data(), data_.data() + pos_, bytes);
+      pos_ += bytes;
+    }
+  }
+
+  /// Raw bytes written so far (packing side).
+  const std::vector<std::byte>& bytes() const noexcept { return data_; }
+  std::vector<std::byte> take() noexcept { return std::move(data_); }
+
+  /// Unpacking cursor, for callers interleaving their own framing.
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  bool packing_;
+  std::vector<std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgq::ft

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "common/timing.hpp"
 #include "trace/session.hpp"
 #include "verify/schedule_point.hpp"
 
@@ -47,6 +48,8 @@ Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
   for (std::size_t i = 0; i < endpoint_count() * fifos_per_node_; ++i) {
     fifos_.push_back(std::make_unique<ReceptionFifo>(fifo_capacity));
   }
+  dead_ = std::vector<std::atomic<bool>>(endpoint_count());
+  last_heard_ = std::vector<std::atomic<std::uint64_t>>(endpoint_count());
 }
 
 Fabric::~Fabric() {
@@ -77,6 +80,20 @@ std::uint64_t Fabric::fifo_spills() const noexcept {
 }
 
 void Fabric::inject(Packet* p) {
+  // A dead endpoint neither emits nor absorbs traffic: transfers touching
+  // one vanish before any accounting, exactly like a powered-off node's
+  // NIC.  (Retransmits to a dead peer are culled separately at the PAMI
+  // layer once the sender learns of the death.)
+  if (dead_[p->src].load(std::memory_order_acquire) ||
+      dead_[p->dst].load(std::memory_order_acquire)) {
+    blackholed_.fetch_add(1, std::memory_order_relaxed);
+    delete p;
+    return;
+  }
+  if (liveness_.load(std::memory_order_acquire)) {
+    last_heard_[p->src].store(now_ns(), std::memory_order_release);
+  }
+
   const int hops = torus_.hops(node_of(p->src), node_of(p->dst));
   const std::size_t bytes = p->payload_bytes() + p->metadata.size();
   p->num_packets = params_.packets_for(bytes);

@@ -135,6 +135,40 @@ class Fabric {
   void set_fault_plan(const FaultPlan& plan);
   bool faults_enabled() const noexcept { return faults_ != nullptr; }
 
+  // ---- endpoint death + liveness (fault tolerance) ----------------------
+
+  /// Blackhole an endpoint: every future transfer from or to it is
+  /// swallowed (counted in blackholed()), modeling a dead node whose NIC
+  /// neither sends nor acks.  Irreversible for the run.
+  void kill_endpoint(topo::NodeId endpoint) {
+    dead_[endpoint].store(true, std::memory_order_release);
+  }
+  bool endpoint_dead(topo::NodeId endpoint) const noexcept {
+    return dead_[endpoint].load(std::memory_order_acquire);
+  }
+
+  /// Turn on per-endpoint last-heard stamping: every inject() records a
+  /// host timestamp for its *source* endpoint, so any traffic — data,
+  /// acks, heartbeats — refreshes the sender's liveness.  Off by default
+  /// (one clock read per transfer).
+  void enable_liveness() noexcept {
+    liveness_.store(true, std::memory_order_release);
+  }
+  /// Last ns timestamp endpoint `ep` was heard from (0 = never).
+  std::uint64_t last_heard(topo::NodeId ep) const noexcept {
+    return last_heard_[ep].load(std::memory_order_acquire);
+  }
+  /// Stamp `ep` as alive now — the failure detector seeds all endpoints
+  /// at run start so nobody is declared dead before traffic begins.
+  void touch_liveness(topo::NodeId ep, std::uint64_t now_ns) noexcept {
+    last_heard_[ep].store(now_ns, std::memory_order_release);
+  }
+
+  /// Transfers swallowed because an endpoint on either side was dead.
+  std::uint64_t blackholed() const noexcept {
+    return blackholed_.load(std::memory_order_relaxed);
+  }
+
   // ---- statistics -------------------------------------------------------
   std::uint64_t transfers() const noexcept {
     return transfers_.load(std::memory_order_relaxed);
@@ -183,6 +217,13 @@ class Fabric {
   std::vector<std::unique_ptr<ReceptionFifo>> fifos_;
 
   std::unique_ptr<FaultState> faults_;
+
+  // Per-endpoint death flags and last-heard stamps (vector sizes fixed at
+  // construction; the atomics themselves are the only mutable state).
+  std::vector<std::atomic<bool>> dead_;
+  std::vector<std::atomic<std::uint64_t>> last_heard_;
+  std::atomic<bool> liveness_{false};
+  std::atomic<std::uint64_t> blackholed_{0};
 
   std::atomic<std::uint64_t> transfers_{0};
   std::atomic<std::uint64_t> net_packets_{0};

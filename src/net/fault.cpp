@@ -1,5 +1,6 @@
 #include "net/fault.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -38,6 +39,44 @@ std::uint64_t parse_u64(const std::string& key, const std::string& val) {
   return static_cast<std::uint64_t>(v);
 }
 
+// "crash@<proc>:<N>ms" or "crash@<proc>:<N>msg" — kill process <proc>
+// after N wall-clock ms, or deterministically once the machine's global
+// send counter reaches N messages.
+CrashEvent parse_crash(std::string_view item) {
+  const std::string tok(item);
+  const std::size_t at = item.find('@');
+  const std::size_t colon = item.find(':', at == std::string_view::npos
+                                               ? 0
+                                               : at + 1);
+  if (at == std::string_view::npos || colon == std::string_view::npos ||
+      colon <= at + 1 || colon + 1 >= item.size()) {
+    throw std::invalid_argument(
+        "FaultPlan: bad crash event '" + tok +
+        "' (want crash@<proc>:<N>ms or crash@<proc>:<N>msg)");
+  }
+  CrashEvent ev;
+  ev.process = static_cast<unsigned>(
+      parse_u64("crash", std::string(item.substr(at + 1, colon - at - 1))));
+  const std::string_view when = item.substr(colon + 1);
+  std::uint64_t n = 0;
+  if (when.size() > 3 && when.substr(when.size() - 3) == "msg") {
+    n = parse_u64("crash", std::string(when.substr(0, when.size() - 3)));
+    if (n == 0) {
+      throw std::invalid_argument("FaultPlan: crash message count must be "
+                                  ">= 1 in '" + tok + "'");
+    }
+    ev.at_msgs = n;
+  } else if (when.size() > 2 && when.substr(when.size() - 2) == "ms") {
+    n = parse_u64("crash", std::string(when.substr(0, when.size() - 2)));
+    ev.at_ms = n;
+  } else {
+    throw std::invalid_argument(
+        "FaultPlan: bad crash deadline '" + std::string(when) + "' in '" +
+        tok + "' (want <N>ms or <N>msg)");
+  }
+  return ev;
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
@@ -49,6 +88,11 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
     const std::string_view item = spec.substr(pos, comma - pos);
     pos = comma + 1;
     if (item.empty()) continue;
+
+    if (item.substr(0, 6) == "crash@") {
+      plan.crashes.push_back(parse_crash(item));
+      continue;
+    }
 
     const std::size_t eq = item.find('=');
     if (eq == std::string_view::npos) {
@@ -83,7 +127,16 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
 FaultPlan FaultPlan::from_env() {
   const char* env = std::getenv("BGQ_FAULT_PLAN");
   if (env == nullptr || *env == '\0') return FaultPlan{};
-  return parse(env);
+  try {
+    return parse(env);
+  } catch (const std::invalid_argument& e) {
+    // Reject-and-exit: a typo'd BGQ_FAULT_PLAN must not silently run a
+    // no-fault (or wrong-fault) experiment.
+    std::fprintf(stderr,
+                 "BGQ_FAULT_PLAN rejected: %s\n  (value was: \"%s\")\n",
+                 e.what(), env);
+    std::exit(2);
+  }
 }
 
 }  // namespace bgq::net

@@ -22,8 +22,20 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace bgq::net {
+
+/// A whole-process kill event: at a deadline (wall ms since run start) or
+/// a deterministic message count (global sent-message counter reaching
+/// `at_msgs`), the named emulated process stops scheduling, its comm
+/// threads park, and its fabric endpoints blackhole all traffic.  Exactly
+/// one of at_ms / at_msgs is non-zero.
+struct CrashEvent {
+  unsigned process = 0;      ///< emulated process (fabric endpoint) to kill
+  std::uint64_t at_ms = 0;   ///< fire this many ms after Machine::run starts
+  std::uint64_t at_msgs = 0; ///< fire when the global send count reaches this
+};
 
 /// Per-transfer fault probabilities and knobs.  All probabilities are per
 /// injected mem-FIFO transfer, rolled independently in the order
@@ -47,19 +59,27 @@ struct FaultPlan {
 
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
 
+  /// Process kill events ("crash@1:40ms" / "crash@2:5000msg").  Only armed
+  /// on machines configured for fault tolerance (`MachineConfig::ft`); a
+  /// crash-bearing env plan is inert for every other machine, so one plan
+  /// can cover a whole test suite.
+  std::vector<CrashEvent> crashes;
+
   bool enabled() const noexcept {
     return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || bitflip > 0.0 ||
-           reject_on_full;
+           reject_on_full || !crashes.empty();
   }
 
   /// Parse "drop=0.01,dup=0.01,delay=0.02,bitflip=0.001,maxdelay=8,
-  /// reject=1,seed=7".  Unknown keys or malformed values throw
-  /// std::invalid_argument; an empty spec is a disabled plan.
+  /// reject=1,seed=7,crash@1:40ms,crash@2:5000msg".  Unknown keys or
+  /// malformed values throw std::invalid_argument naming the bad token; an
+  /// empty spec is a disabled plan.
   static FaultPlan parse(std::string_view spec);
 
   /// The BGQ_FAULT_PLAN environment override, or a disabled plan when the
-  /// variable is unset.  A malformed value throws (fail loudly: a typo'd
-  /// chaos run must not silently test nothing).
+  /// variable is unset.  A malformed value prints a diagnostic naming the
+  /// bad token to stderr and exits(2) — fail loudly: a typo'd chaos run
+  /// must not silently test nothing.
   static FaultPlan from_env();
 };
 

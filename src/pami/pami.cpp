@@ -22,6 +22,9 @@ Context::~Context() {
     for (auto& pend : ch.pending) delete pend.copy;
   }
   for (net::Packet* p : backlog_) delete p;
+  // A killed process's contexts die with posted work still queued (the
+  // monitor may have raced a heartbeat post against the kill).
+  while (WorkItem* w = work_.try_dequeue()) delete w;
 }
 
 net::ReceptionFifo& Context::fifo() {
@@ -57,7 +60,7 @@ void Context::send_immediate(const SendParams& p) {
   // bookkeeping — minimal overhead, as on hardware.
   auto* pkt = new net::Packet();
   fill_common(*pkt, client_.endpoint(), p);
-  if (client_.reliable()) {
+  if (client_.reliable() && !p.best_effort) {
     reliable_submit(pkt);
   } else {
     if (pkt->cid != 0) {
@@ -77,7 +80,7 @@ void Context::send(const SendParams& p) {
   // distinguish.
   auto* pkt = new net::Packet();
   fill_common(*pkt, client_.endpoint(), p);
-  if (client_.reliable()) {
+  if (client_.reliable() && !p.best_effort) {
     reliable_submit(pkt);
   } else {
     if (pkt->cid != 0) {
@@ -210,6 +213,7 @@ void Context::reliable_submit(net::Packet* pkt) {
                        static_cast<std::uint32_t>(pkt->dst), pkt->cid);
     }
     backlog_.push_back(pkt);
+    backlog_count_.fetch_add(1, std::memory_order_relaxed);
     ++stalls_;
     return;
   }
@@ -234,7 +238,7 @@ void Context::transmit(Channel& ch, net::Packet* pkt) {
   auto* copy = new net::Packet(*pkt);
   ch.pending.push_back(
       Pending{pkt->seq, copy, now_ns() + rp.rto_ns, rp.rto_ns, 0});
-  ++outstanding_;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
   BGQ_SCHED_POINT("pami.rel.transmit");
   if (pkt->cid != 0) {
     trace::emit_here(trace::EventKind::kNetInject,
@@ -248,7 +252,7 @@ void Context::ack_one(Channel& ch, std::uint64_t seq) {
     if (ch.pending[i].seq == seq) {
       delete ch.pending[i].copy;
       ch.pending.erase(ch.pending.begin() + static_cast<std::ptrdiff_t>(i));
-      --outstanding_;
+      outstanding_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
   }
@@ -271,10 +275,17 @@ bool Context::reliable_receive(net::Packet* p) {
     return false;
   }
   // Dedup: an already-delivered seq is re-acked (the first ack may have
-  // been lost) but never re-dispatched — exactly-once delivery.
+  // been lost) but never re-dispatched — exactly-once delivery.  The
+  // sliding horizon bounds the above-watermark table: a seq that far
+  // behind max_seen cannot be live (the sender's window caps unacked
+  // seqs at `window` << horizon), so it must be an ancient duplicate
+  // whose table entry may already have been evicted.
+  const ReliabilityParams& rrp = client_.reliability();
   const std::uint64_t seq = p->seq;
+  const bool below_horizon =
+      rrp.dedup_horizon != 0 && seq + rrp.dedup_horizon <= ch.max_seen;
   const bool seen =
-      seq <= ch.recv_cum ||
+      below_horizon || seq <= ch.recv_cum ||
       std::find(ch.recv_above.begin(), ch.recv_above.end(), seq) !=
           ch.recv_above.end();
   if (seen) {
@@ -304,6 +315,22 @@ bool Context::reliable_receive(net::Packet* p) {
   } else {
     ch.recv_above.push_back(seq);
   }
+  if (seq > ch.max_seen) ch.max_seen = seq;
+  // Age out above-watermark entries that fell below the horizon: any
+  // future duplicate of them is caught by the below_horizon test above,
+  // so the table stays bounded without losing exactly-once.
+  if (rrp.dedup_horizon != 0 && ch.max_seen > rrp.dedup_horizon) {
+    const std::uint64_t floor = ch.max_seen - rrp.dedup_horizon;
+    for (std::size_t i = 0; i < ch.recv_above.size();) {
+      if (ch.recv_above[i] <= floor) {
+        ch.recv_above[i] = ch.recv_above.back();
+        ch.recv_above.pop_back();
+        ++dedup_evicted_;
+      } else {
+        ++i;
+      }
+    }
+  }
   ch.owed_acks.push_back(seq);
   ++owed_total_;
   return true;  // fresh data: caller dispatches it
@@ -315,22 +342,48 @@ std::size_t Context::reliability_tick() {
   std::size_t activity = 0;
 
   // Drain the backpressure backlog while windows have room (FIFO order:
-  // the head blocking keeps submission order per channel).
+  // the head blocking keeps submission order per channel).  Sends bound
+  // for a peer that died since submission are culled, not transmitted.
   while (!backlog_.empty()) {
     net::Packet* pkt = backlog_.front();
+    if (client_.fabric().endpoint_dead(pkt->dst)) {
+      backlog_.pop_front();
+      backlog_count_.fetch_sub(1, std::memory_order_relaxed);
+      delete pkt;
+      ++dead_drops_;
+      ++activity;
+      continue;
+    }
     Channel& ch = channel(pkt->dst, pkt->rec_fifo);
     if (ch.pending.size() >= rp.window) break;
     backlog_.pop_front();
+    backlog_count_.fetch_sub(1, std::memory_order_relaxed);
     transmit(ch, pkt);
     ++activity;
   }
 
-  // Retransmit expired unacked packets with exponential backoff.
-  if (outstanding_ != 0) {
+  // Retransmit expired unacked packets with exponential backoff.  An
+  // expired packet whose peer is dead will never be acked: cull it (the
+  // FT layer rolls the message back by epoch) rather than burning
+  // retries into a blackhole and throwing.
+  if (outstanding_.load(std::memory_order_relaxed) != 0) {
     const std::uint64_t now = now_ns();
     for (auto& [key, ch] : chans_) {
-      for (Pending& pend : ch.pending) {
-        if (pend.deadline_ns > now) continue;
+      for (std::size_t i = 0; i < ch.pending.size();) {
+        Pending& pend = ch.pending[i];
+        if (pend.deadline_ns > now) {
+          ++i;
+          continue;
+        }
+        if (client_.fabric().endpoint_dead(pend.copy->dst)) {
+          delete pend.copy;
+          ch.pending.erase(ch.pending.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+          outstanding_.fetch_sub(1, std::memory_order_relaxed);
+          ++dead_drops_;
+          ++activity;
+          continue;
+        }
         if (++pend.tries > rp.max_retries) {
           throw std::runtime_error(
               "pami reliability: retransmit retries exhausted (seq " +
@@ -345,8 +398,9 @@ std::size_t Context::reliability_tick() {
                            pend.copy->cid);
         }
         client_.fabric().inject(new net::Packet(*pend.copy));
-        ++retransmits_;
+        retransmits_.fetch_add(1, std::memory_order_relaxed);
         ++activity;
+        ++i;
       }
     }
   }

@@ -77,6 +77,11 @@ struct SendParams {
   std::function<void()> local_done;
   /// Causal trace id carried through to the Packet (0 = untraced).
   std::uint64_t cid = 0;
+  /// Skip the reliability layer even when the client enabled it: the
+  /// packet goes out unsequenced, unacked, never retransmitted.  For
+  /// traffic where loss is harmless and retransmit state per dead peer is
+  /// not (heartbeats).
+  bool best_effort = false;
 };
 
 /// One PAMI context: a reception FIFO, a lockless work queue, and the send
@@ -133,7 +138,8 @@ class Context {
   /// backpressure backlog): the advancing thread must not park forever —
   /// a lost ack produces no wake(), only a timeout.
   bool has_timers() const noexcept {
-    return outstanding_ != 0 || !backlog_.empty();
+    return outstanding_.load(std::memory_order_relaxed) != 0 ||
+           backlog_count_.load(std::memory_order_relaxed) != 0;
   }
 
   /// The gate the advancing thread parks on (the reception FIFO's gate by
@@ -151,13 +157,29 @@ class Context {
 
   // Reliability-protocol counters (all zero unless the client enabled
   // reliability; see pami/reliability.hpp).
-  std::uint64_t retransmits() const noexcept { return retransmits_; }
+  std::uint64_t retransmits() const noexcept {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
   std::uint64_t dup_acks() const noexcept { return dup_acks_; }
   std::uint64_t piggybacked_acks() const noexcept { return acks_piggy_; }
   std::uint64_t standalone_acks() const noexcept { return acks_alone_; }
   std::uint64_t corrupt_drops() const noexcept { return corrupt_; }
   std::uint64_t dedup_drops() const noexcept { return dedup_; }
   std::uint64_t backpressure_stalls() const noexcept { return stalls_; }
+  /// Dedup-table entries aged out past the sliding seq horizon.
+  std::uint64_t dedup_evictions() const noexcept { return dedup_evicted_; }
+  /// Unacked/backlogged packets culled because their peer died (instead
+  /// of retrying into a blackhole until retries exhausted).
+  std::uint64_t dead_peer_drops() const noexcept { return dead_drops_; }
+
+  // Point-in-time queue depths (advisory off the advancing thread; the
+  // hang watchdog reads them for its diagnostic dump).
+  std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  std::size_t backlog_size() const noexcept {
+    return backlog_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct WorkItem {
@@ -181,6 +203,7 @@ class Context {
     std::vector<Pending> pending;        // unacked, ordered by send time
 
     std::uint64_t recv_cum = 0;          // all seqs <= this were delivered
+    std::uint64_t max_seen = 0;          // highest seq ever received
     std::vector<std::uint64_t> recv_above;  // delivered seqs > recv_cum
     std::vector<std::uint64_t> owed_acks;   // to piggyback or flush
   };
@@ -205,7 +228,10 @@ class Context {
   // advancing thread touches this (PAMI thread contract), so no locks.
   std::unordered_map<std::uint64_t, Channel> chans_;
   std::deque<net::Packet*> backlog_;  // backpressured sends, FIFO order
-  std::size_t outstanding_ = 0;       // unacked packets across channels
+  // Mutated only by the advancing thread; relaxed atomics because the
+  // hang watchdog's diagnostic dump reads them from the monitor thread.
+  std::atomic<std::size_t> outstanding_{0};  // unacked across channels
+  std::atomic<std::size_t> backlog_count_{0};  // == backlog_.size()
   std::size_t owed_total_ = 0;        // owed acks across channels
 
   // Stats are written only by the threads owning the respective path; they
@@ -214,13 +240,19 @@ class Context {
   std::uint64_t imm_sends_ = 0;
   std::uint64_t recvs_ = 0;
   std::uint64_t work_done_ = 0;
-  std::uint64_t retransmits_ = 0;
+  // Written only by the advancing thread, but read by the hang
+  // watchdog's diagnostic dump from the monitor thread — relaxed
+  // atomics keep those point-in-time reads defined (same cost as a
+  // plain store on the owning thread).
+  std::atomic<std::uint64_t> retransmits_{0};
   std::uint64_t dup_acks_ = 0;
   std::uint64_t acks_piggy_ = 0;
   std::uint64_t acks_alone_ = 0;
   std::uint64_t corrupt_ = 0;
   std::uint64_t dedup_ = 0;
   std::uint64_t stalls_ = 0;
+  std::uint64_t dedup_evicted_ = 0;
+  std::uint64_t dead_drops_ = 0;
 };
 
 /// One PAMI client per process (endpoint); owns the contexts and the

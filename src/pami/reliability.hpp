@@ -51,6 +51,16 @@ struct ReliabilityParams {
 
   /// Max acks carried by one standalone ack packet.
   std::size_t max_ack_batch = 64;
+
+  /// Sliding dedup window: a received seq more than this far below the
+  /// channel's highest-seen seq is unconditionally treated as a duplicate,
+  /// and above-watermark dedup entries that age past the horizon are
+  /// evicted (counted as net.dedup.evicted).  Bounds the dedup table on
+  /// arbitrarily long chaos runs.  Safe because the sender's retransmit
+  /// window caps live unacked seqs at `window` per channel — keep
+  /// dedup_horizon >= window (it is, by a wide margin).  0 disables the
+  /// horizon (unbounded table, pre-PR-5 behaviour).
+  std::size_t dedup_horizon = 4096;
 };
 
 }  // namespace bgq::pami

@@ -477,4 +477,73 @@ TEST(PamiReliability, PiggybackedAcksRideReverseTraffic) {
       << "replies should carry acks instead of separate ack packets";
 }
 
+TEST(PamiReliability, DedupHorizonBoundsTableAndStillDedups) {
+  TwoNodeHarness h;
+  ReliabilityParams rp = fast_rto();
+  rp.dedup_horizon = 4;  // tiny on purpose: age entries out fast
+  h.a.enable_reliability(rp);
+  h.b.enable_reliability(rp);
+
+  std::atomic<int> delivered{0};
+  h.b.set_dispatch(5, [&](const DispatchArgs&) { delivered.fetch_add(1); });
+
+  // First packet vanishes: its seq becomes a persistent gap, so every
+  // later seq sits in the above-watermark dedup table instead of folding
+  // into the cumulative watermark.
+  h.fabric.set_fault_plan(FaultPlan::parse("drop=1.0"));
+  SendParams p;
+  p.dest = 1;
+  p.dispatch = 5;
+  h.a.context(0).send_immediate(p);
+  h.fabric.set_fault_plan(FaultPlan{});
+
+  // Nine clean packets: the table grows past the horizon and the oldest
+  // entries age out (that is the bound under test).
+  constexpr int kLater = 9;
+  for (int i = 0; i < kLater; ++i) h.a.context(0).send_immediate(p);
+  ASSERT_TRUE(drive_until(h, [&] { return delivered.load() >= kLater; }));
+  EXPECT_GT(h.b.context(0).dedup_evictions(), 0u)
+      << "a >horizon backlog above a gap must evict aged entries";
+
+  // The dropped packet's retransmit now arrives far below max_seen: the
+  // horizon classifies it as an ancient duplicate (its would-be table
+  // entry is long gone) and it is acked but never dispatched, so the
+  // sender drains instead of retrying forever.
+  drive_until(h, [&] { return h.a.context(0).outstanding() == 0; }, 200);
+  EXPECT_EQ(h.a.context(0).outstanding(), 0u);
+  EXPECT_EQ(delivered.load(), kLater) << "horizon must not re-dispatch";
+  EXPECT_GT(h.b.context(0).dedup_drops(), 0u);
+}
+
+TEST(PamiReliability, DeadPeerPendingAndBacklogAreCulled) {
+  TwoNodeHarness h;
+  ReliabilityParams rp = fast_rto();
+  rp.window = 2;  // force part of the burst into the backlog
+  h.a.enable_reliability(rp);
+  h.b.enable_reliability(rp);
+
+  SendParams p;
+  p.dest = 1;
+  p.dispatch = 5;
+
+  h.fabric.kill_endpoint(1);
+  // A window's worth of sends injects straight into the blackhole; the
+  // rest queue behind the (never-acked) window in the local backlog.
+  for (int i = 0; i < 6; ++i) h.a.context(0).send_immediate(p);
+  // Unacked copies and backlogged sends to the dead endpoint are culled
+  // at the reliability tick — no retry storm, no retries-exhausted throw.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (h.a.context(0).outstanding() != 0 ||
+          h.a.context(0).backlog_size() != 0)) {
+    h.a.context(0).advance();
+  }
+  EXPECT_EQ(h.a.context(0).outstanding(), 0u);
+  EXPECT_EQ(h.a.context(0).backlog_size(), 0u);
+  EXPECT_GT(h.a.context(0).dead_peer_drops(), 0u);
+  EXPECT_GT(h.fabric.blackholed(), 0u)
+      << "in-flight traffic to the dead endpoint is swallowed";
+}
+
 }  // namespace
