@@ -99,7 +99,8 @@ void run_latency(const cvs::MachineConfig& cfg, std::size_t bytes,
   const auto epp = static_cast<topo::NodeId>(machine.process_of(peer));
   const int hops = machine.torus().hops(fab.node_of(ep0), fab.node_of(epp));
   r.oneway_us =
-      rtts.median() / 2.0 + fab.params().wire_time_ns(bytes + 16, hops) * 1e-3;
+      rtts.median() / 2.0 +
+      fab.params().wire_time_ns(bytes + sizeof(cvs::MsgHeader), hops) * 1e-3;
   harvest(machine, r);
 }
 

@@ -46,6 +46,8 @@ enum BufferKind : std::uint16_t {
   kKindArena = 0xA1,
   kKindPool = 0xB2,
   kKindHeapDirect = 0xC3,  ///< larger than the largest size class
+  kKindSlab = 0xD4,        ///< carved from a per-thread slab block; its
+                           ///< memory is freed with the block, never alone
 };
 
 inline constexpr std::uint64_t kLiveMagic = 0xB19B1005A110Cull;

@@ -25,11 +25,24 @@
 namespace bgq::alloc {
 
 /// Per-thread lockless pool allocator.
+///
+/// Slab fast path: the dominant small-message size class (`slab_class`,
+/// default 128 B — a lean message header plus the small payloads that
+/// dominate fine-grained chare traffic) is carved from per-thread slab
+/// blocks instead of hitting `operator new` per buffer.  A slab buffer
+/// that misses the recycling ring on free (ring full) is parked on a
+/// lockless MPSC spill stack owned by the carving thread rather than
+/// heap-freed — slab memory is only ever released wholesale, with its
+/// block.  Allocation misses therefore probe: own ring -> spill stack ->
+/// carve -> heap.
 class PoolAllocator final : public IAllocator {
  public:
   /// `pool_slots` is the per-(thread, class) pool threshold — buffers
-  /// beyond it are freed to the heap.
-  explicit PoolAllocator(ThreadId nthreads, std::size_t pool_slots = 512);
+  /// beyond it are freed to the heap (slab buffers: to the spill
+  /// stack).  It also caps how many slab buffers each thread carves;
+  /// `slab_class` = kNumSizeClasses disables the slab path.
+  explicit PoolAllocator(ThreadId nthreads, std::size_t pool_slots = 512,
+                         std::size_t slab_class = 2);
   ~PoolAllocator() override;
 
   void* allocate(ThreadId tid, std::size_t bytes) override;
@@ -40,12 +53,17 @@ class PoolAllocator final : public IAllocator {
   std::uint64_t pool_hits() const;   ///< allocs served from a pool
   std::uint64_t heap_allocs() const; ///< allocs that went to the heap
   std::uint64_t heap_frees() const;  ///< frees spilled past the threshold
+  std::uint64_t slab_hits() const;   ///< allocs served from slab memory
+  std::uint64_t slab_carves() const; ///< buffers carved from slab blocks
 
  private:
   struct ThreadPools;
 
+  void* carve(ThreadPools& mine, ThreadId tid);
+
   const ThreadId nthreads_;
   const std::size_t pool_slots_;
+  const std::size_t slab_class_;
   std::vector<std::unique_ptr<ThreadPools>> pools_;  // one per thread
 };
 

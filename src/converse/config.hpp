@@ -9,6 +9,7 @@
 #include "net/fault.hpp"
 #include "net/params.hpp"
 #include "pami/reliability.hpp"
+#include "tram/config.hpp"
 
 namespace bgq::cvs {
 
@@ -81,6 +82,10 @@ struct MachineConfig {
 
   /// Reliability tuning (windows, timeouts; pami/reliability.hpp).
   pami::ReliabilityParams reliability{};
+
+  /// TRAM-style streaming aggregation of small remote messages
+  /// (src/tram/): opt-in; a default config sends everything direct.
+  tram::Config tram{};
 
   /// Fault tolerance: checkpoint/restart protocol and hang watchdog
   /// (ft/config.hpp).  Crash events in a fault plan fire only when

@@ -9,6 +9,7 @@
 #include "common/timing.hpp"
 #include "ft/manager.hpp"
 #include "trace/trace_io.hpp"
+#include "tram/aggregator.hpp"
 
 namespace bgq::cvs {
 
@@ -89,18 +90,26 @@ void Pe::send_message(PeRank dst, Message* m) {
   }
   if (ring_ != nullptr) {
     // Stamp the causal id (origin PE + per-PE sequence, kept below 2^53 so
-    // it survives the JSON exports' doubles) and open the lifecycle.  The
-    // untraced path never touches these header fields.
-    m->header().trace_id =
-        (static_cast<std::uint64_t>(rank_ + 1) << 32) | ++trace_seq_;
+    // it survives the JSON exports' doubles) and open the lifecycle.  In
+    // trace-off *builds* the header carries no causal fields: the setters
+    // vanish and the event goes out with cid 0 (a plain instant).
+    m->header().set_cid(
+        (static_cast<std::uint64_t>(rank_ + 1) << 32) | ++trace_seq_);
     const std::uint64_t t = now_ns();
-    m->header().stamp_ns = t;
-    ring_->emit({t, dst, trace::EventKind::kMsgSend, m->header().trace_id});
+    m->header().set_stamp(t);
+    ring_->emit({t, dst, trace::EventKind::kMsgSend, m->header().cid()});
   }
   if (mach.process_of(dst) == mach.process_of(rank_)) {
     // Same SMP process: pointer exchange straight into the peer's queue.
     counters_->add(ids.sends_intra);
     mach.pe(dst).enqueue(m);
+    return;
+  }
+  // Remote destination: the aggregation router may absorb a small message
+  // into a per-destination batch (it re-sends via this same path, as a
+  // batch message the router declines to re-batch).
+  if (tram::Router* tr = mach.tram_router();
+      tr != nullptr && tr->offer(*this, dst, m)) {
     return;
   }
   counters_->add(ids.sends_network);
@@ -127,10 +136,10 @@ void Pe::enqueue(Message* m) {
   // Producer-side trace tick, on the *sender's* track (null-bound
   // threads skip at the cost of one thread-local load).
   MsgHeader& h = m->header();
-  if (h.trace_id != 0) {
+  if (h.cid() != 0) {
     const std::uint64_t t =
-        trace::emit_here(trace::EventKind::kMsgEnqueue, rank_, h.trace_id);
-    h.stamp_ns = t != 0 ? t : now_ns();  // queue-wait baseline for dequeue
+        trace::emit_here(trace::EventKind::kMsgEnqueue, rank_, h.cid());
+    h.set_stamp(t != 0 ? t : now_ns());  // queue-wait baseline for dequeue
   } else {
     trace::emit_here(trace::EventKind::kMsgEnqueue, rank_);
   }
@@ -157,7 +166,7 @@ void Pe::execute(Message* m) {
   const HandlerId h = m->header().handler;
   // The handler owns (and may free or forward) the message: capture the
   // causal id before invoking it.
-  const std::uint64_t cid = m->header().trace_id;
+  const std::uint64_t cid = m->header().cid();
   const std::uint64_t t0 = now_ns();
   if (ring_) ring_->emit({t0, h, trace::EventKind::kHandlerBegin, cid});
   machine().handler(h)(*this, m);
@@ -182,10 +191,10 @@ bool Pe::pump_one() {
     if (ring_) {
       const MsgHeader& h = m->header();
       const std::uint64_t t = now_ns();
-      ring_->emit({t, h.handler, trace::EventKind::kMsgDequeue, h.trace_id});
-      if (h.trace_id != 0) {
+      ring_->emit({t, h.handler, trace::EventKind::kMsgDequeue, h.cid()});
+      if (h.cid() != 0) {
         counters_->record(machine().hist_ids().queue_ns,
-                          hop_ns(t, h.stamp_ns));
+                          hop_ns(t, h.stamp()));
       }
     }
     execute(m);
@@ -205,10 +214,21 @@ void Pe::scheduler_loop() {
   const CounterIds& ids = mach.counter_ids();
   const bool ft = mach.ft_armed();
   ft::Manager* mgr = ft ? mach.ft_manager() : nullptr;
+  tram::Router* tr = mach.tram_router();
   bool idle = false;
   while (!mach.stopping()) {
     if (ft && mach.process_killed(process_.endpoint())) break;  // crashed
     if (pump_one()) {
+      if (idle) {
+        idle = false;
+        if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
+      }
+      continue;
+    }
+    // No local work: flush aggregation buffers whose timeout expired —
+    // before FT protocol work, since quiescence counts staged records as
+    // sent-but-unexecuted and would otherwise wait on them.
+    if (tr != nullptr && tr->tick(*this)) {
       if (idle) {
         idle = false;
         if (ring_) ring_->emit({now_ns(), 0, trace::EventKind::kIdleEnd});
@@ -337,14 +357,14 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
   const std::size_t bytes = m->payload_bytes();
 
   MsgHeader& hdr = m->header();
-  if (hdr.trace_id != 0) {
+  if (hdr.cid() != 0) {
     // Injection hop closes here (send -> this context picking the message
     // up); re-stamp *before* the header is copied into packet metadata so
     // the network hop's baseline crosses the wire with the message.
     const std::uint64_t t = now_ns();
     trace::Registry::record_here(machine_.hist_ids().inject_ns,
-                                 hop_ns(t, hdr.stamp_ns));
-    hdr.stamp_ns = t;
+                                 hop_ns(t, hdr.stamp()));
+    hdr.set_stamp(t);
   }
 
   pami::SendParams p;
@@ -352,7 +372,7 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
   p.dest_context = dest_ctx;
   p.metadata = &m->header();
   p.metadata_bytes = sizeof(MsgHeader);
-  p.cid = hdr.trace_id;
+  p.cid = hdr.cid();
 
   if (bytes > machine_.config().eager_max) {
     // Rendezvous (§III): ship a short request carrying the source buffer
@@ -380,12 +400,12 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
 void Process::on_eager(const pami::DispatchArgs& a) {
   MsgHeader hdr;
   std::memcpy(&hdr, a.metadata, sizeof(hdr));
-  if (hdr.trace_id != 0) {
+  if (hdr.cid() != 0) {
     // Network hop closes at dispatch on the receive side.
     const std::uint64_t t = now_ns();
     trace::Registry::record_here(machine_.hist_ids().network_ns,
-                                 hop_ns(t, hdr.stamp_ns));
-    hdr.stamp_ns = t;
+                                 hop_ns(t, hdr.stamp()));
+    hdr.set_stamp(t);
   }
   void* raw = allocator_->allocate(current_tid(),
                                    sizeof(MsgHeader) + a.payload_bytes);
@@ -412,13 +432,13 @@ void Process::deliver(Message* m) {
 void Process::on_rendezvous_req(const pami::DispatchArgs& a) {
   MsgHeader hdr;
   std::memcpy(&hdr, a.metadata, sizeof(hdr));
-  if (hdr.trace_id != 0) {
+  if (hdr.cid() != 0) {
     // Rendezvous: the network hop closes when the request lands; the rget
     // payload pull shows up between here and the enqueue that follows it.
     const std::uint64_t t = now_ns();
     trace::Registry::record_here(machine_.hist_ids().network_ns,
-                                 hop_ns(t, hdr.stamp_ns));
-    hdr.stamp_ns = t;
+                                 hop_ns(t, hdr.stamp()));
+    hdr.set_stamp(t);
   }
   RzvToken token;
   std::memcpy(&token, a.payload, sizeof(token));
@@ -497,6 +517,16 @@ Machine::Machine(MachineConfig cfg)
   ids_.sends_network = metrics_.intern("pe.sends.network");
   ids_.idle_probes = metrics_.intern("pe.idle.probes");
   ids_.busy_ns = metrics_.intern("pe.busy_ns");
+  tram_ids_.appends = metrics_.intern("tram.appends");
+  tram_ids_.batches = metrics_.intern("tram.batches");
+  tram_ids_.batched_msgs = metrics_.intern("tram.batched_msgs");
+  tram_ids_.deagg_msgs = metrics_.intern("tram.deagg_msgs");
+  tram_ids_.flush_bytes = metrics_.intern("tram.flush.bytes");
+  tram_ids_.flush_count = metrics_.intern("tram.flush.count");
+  tram_ids_.flush_timeout = metrics_.intern("tram.flush.timeout");
+  tram_ids_.flush_barrier = metrics_.intern("tram.flush.barrier");
+  tram_ids_.bypass_oversize = metrics_.intern("tram.bypass.oversize");
+  tram_ids_.stale_discards = metrics_.intern("tram.stale_discards");
   hist_ids_.inject_ns = metrics_.intern_hist("lat.inject_ns");
   hist_ids_.network_ns = metrics_.intern_hist("lat.network_ns");
   hist_ids_.queue_ns = metrics_.intern_hist("lat.queue_ns");
@@ -523,6 +553,11 @@ Machine::Machine(MachineConfig cfg)
     if (cfg_.ft.enabled) fabric_->enable_liveness();
     ft_ = std::make_unique<ft::Manager>(*this, cfg_.ft,
                                         std::move(plan.crashes));
+  }
+  // The aggregation router registers its deaggregation handler here,
+  // before any application handler, so it deterministically owns id 0.
+  if (cfg_.tram.enabled) {
+    tram_ = std::make_unique<tram::Router>(*this, cfg_.tram);
   }
   const std::size_t nproc = cfg_.process_count();
   processes_.reserve(nproc);
@@ -554,6 +589,10 @@ void Machine::worker_barrier(Pe* self) {
   // short.  The caller bails out if its own process was killed or the
   // machine is stopping — its peers will stop waiting for it once the
   // failure detector declares the process dead.
+  // Collective alignment drains this PE's aggregation buffers first: a
+  // barrier-synchronized peer may be waiting on exactly the messages a
+  // lazy batch is holding back.
+  if (tram_ != nullptr) tram_->drain(*self);
   const std::size_t me = self->rank();
   const std::uint64_t target =
       barrier_slots_[me].n.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -562,6 +601,9 @@ void Machine::worker_barrier(Pe* self) {
   for (std::size_t i = 0; i < barrier_slots_.size(); ++i) {
     while (barrier_slots_[i].n.load(std::memory_order_acquire) < target) {
       if (stopping()) return;
+      // Handlers executed inline from advance() (non-SMP delivery) can
+      // stage fresh records while we park: keep the timeout flush live.
+      if (tram_ != nullptr) tram_->tick(*self);
       if (ft_armed_) {
         // A declared-dead or killed process's PEs are never arriving; a
         // killed-but-undeclared slot must be skipped too, or a crash that
@@ -574,6 +616,10 @@ void Machine::worker_barrier(Pe* self) {
       std::this_thread::yield();
     }
   }
+}
+
+void Machine::tram_tick(Pe& pe) {
+  if (tram_ != nullptr) tram_->tick(pe);
 }
 
 void Machine::kill_process(std::size_t p) {
@@ -622,6 +668,7 @@ trace::Report Machine::metrics_report() {
   // Fold the allocator and comm-thread counters in as gauges so one
   // report covers the whole machine (summing across processes).
   std::uint64_t pool_hits = 0, heap_allocs = 0, heap_frees = 0;
+  std::uint64_t slab_hits = 0, slab_carves = 0;
   std::uint64_t arena_contention = 0, sweeps = 0, parks = 0;
   bool any_pool = false, any_arena = false, any_comm = false;
   for (const auto& proc : processes_) {
@@ -631,6 +678,8 @@ trace::Report Machine::metrics_report() {
       pool_hits += pool->pool_hits();
       heap_allocs += pool->heap_allocs();
       heap_frees += pool->heap_frees();
+      slab_hits += pool->slab_hits();
+      slab_carves += pool->slab_carves();
     } else if (auto* arena = dynamic_cast<alloc::ArenaAllocator*>(
                    &proc->allocator())) {
       any_arena = true;
@@ -646,6 +695,8 @@ trace::Report Machine::metrics_report() {
     metrics_.set_gauge("alloc.pool.hits", pool_hits);
     metrics_.set_gauge("alloc.heap.allocs", heap_allocs);
     metrics_.set_gauge("alloc.heap.frees", heap_frees);
+    metrics_.set_gauge("alloc.slab.hits", slab_hits);
+    metrics_.set_gauge("alloc.slab.carves", slab_carves);
   }
   if (any_arena) {
     metrics_.set_gauge("alloc.arena.contention", arena_contention);

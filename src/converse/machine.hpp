@@ -37,6 +37,10 @@ namespace bgq::ft {
 class Manager;
 }  // namespace bgq::ft
 
+namespace bgq::tram {
+class Router;
+}  // namespace bgq::tram
+
 namespace bgq::cvs {
 
 class Machine;
@@ -57,6 +61,22 @@ struct CounterIds {
   trace::Registry::Id sends_network;  ///< pe.sends.network
   trace::Registry::Id idle_probes;    ///< pe.idle.probes
   trace::Registry::Id busy_ns;        ///< pe.busy_ns
+};
+
+/// Dense ids of the message-aggregation counters (src/tram/).  Interned
+/// unconditionally — like every machine-layer counter — so reports keep a
+/// stable key set; all zeros when MachineConfig::tram is off.
+struct TramIds {
+  trace::Registry::Id appends;         ///< tram.appends
+  trace::Registry::Id batches;         ///< tram.batches
+  trace::Registry::Id batched_msgs;    ///< tram.batched_msgs
+  trace::Registry::Id deagg_msgs;      ///< tram.deagg_msgs
+  trace::Registry::Id flush_bytes;     ///< tram.flush.bytes
+  trace::Registry::Id flush_count;     ///< tram.flush.count
+  trace::Registry::Id flush_timeout;   ///< tram.flush.timeout
+  trace::Registry::Id flush_barrier;   ///< tram.flush.barrier
+  trace::Registry::Id bypass_oversize; ///< tram.bypass.oversize
+  trace::Registry::Id stale_discards;  ///< tram.stale_discards
 };
 
 /// Dense ids of the per-hop latency histograms recorded online while a
@@ -127,6 +147,10 @@ class Pe {
     return *counters_;
   }
 
+  /// Mutable shard handle for runtime services that account on behalf
+  /// of this PE (the tram Router).  Owner-thread writes only.
+  trace::Registry::Shard* counters_shard() noexcept { return counters_; }
+
   /// This PE's event ring, or nullptr when the run was configured
   /// without tracing (MachineConfig::trace_events).  Layers above the
   /// machine (e.g. the parallel MD driver's phase markers) emit here.
@@ -140,6 +164,7 @@ class Pe {
  private:
   friend class Process;
   friend class Machine;
+  friend class tram::Router;  // same-PE records execute inline on deagg
 
   void execute(Message* m);
   bool queue_empty_probe();
@@ -201,6 +226,7 @@ class Process {
  private:
   friend class Pe;
   friend class Machine;
+  friend class tram::Router;  // deaggregation re-enters deliver()
 
   void register_dispatches();
   void send_on_context(pami::Context& ctx, PeRank dst, Message* m);
@@ -275,6 +301,18 @@ class Machine {
   /// of a declared-dead process are not waited for, and the caller bails
   /// out if its own process dies or the machine stops.
   void worker_barrier(Pe* self);
+
+  // ---- message aggregation (src/tram/) -----------------------------------
+
+  /// The streaming aggregator, or nullptr when MachineConfig::tram is
+  /// off.  Created before any application handler registers, so its
+  /// deaggregation handler always gets the first id.
+  tram::Router* tram_router() noexcept { return tram_.get(); }
+  const TramIds& tram_ids() const noexcept { return tram_ids_; }
+
+  /// Timeout-flush hook for wait loops outside the scheduler (the FT
+  /// quiescence wait): no-op without a router.
+  void tram_tick(Pe& pe);
 
   // ---- fault tolerance (src/ft/) -----------------------------------------
 
@@ -393,7 +431,9 @@ class Machine {
   topo::Torus torus_;
   trace::Registry metrics_;
   CounterIds ids_;
+  TramIds tram_ids_;
   HistIds hist_ids_;
+  std::unique_ptr<tram::Router> tram_;
   trace::Session trace_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Process>> processes_;

@@ -283,6 +283,10 @@ bool Manager::wait_quiesce(cvs::Pe& pe) {
       return false;
     }
     if (ctx != nullptr) ctx->advance();
+    // Inline-executed arrivals may have staged fresh aggregation records;
+    // without the timeout flush the sent/executed counts could not
+    // converge while they sit buffered.
+    mach_.tram_tick(pe);
     std::this_thread::yield();
   }
   return false;

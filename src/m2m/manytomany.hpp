@@ -39,8 +39,10 @@
 namespace bgq::m2m {
 
 /// PAMI dispatch id claimed by the many-to-many engine (the Converse
-/// machine layer uses 1..3).
-inline constexpr std::uint16_t kDispatchM2M = 4;
+/// machine layer uses 1..3 for its protocols and 4 for FT heartbeats —
+/// claiming 4 here used to silently overwrite the heartbeat dispatch on
+/// machines that ran both).
+inline constexpr std::uint16_t kDispatchM2M = 5;
 
 class Coordinator;
 

@@ -1,0 +1,123 @@
+#include "taskbench/patterns.hpp"
+
+#include <algorithm>
+
+namespace bgq::taskbench {
+
+namespace {
+
+/// splitmix64 — the stateless mixer used wherever the pattern needs
+/// "random" but reproducible choices.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t log2_ceil(std::uint32_t w) noexcept {
+  std::uint32_t b = 0;
+  while ((1u << b) < w) ++b;
+  return b == 0 ? 1 : b;
+}
+
+void finish(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::kStencil: return "stencil";
+    case Pattern::kFft: return "fft";
+    case Pattern::kTree: return "tree";
+    case Pattern::kRandom: return "random";
+    case Pattern::kSpread: return "spread";
+  }
+  return "?";
+}
+
+std::optional<Pattern> parse_pattern(std::string_view name) noexcept {
+  for (Pattern p : kAllPatterns) {
+    if (name == pattern_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> dependencies(Pattern p, std::uint32_t width,
+                                        std::uint32_t step,
+                                        std::uint32_t task) {
+  std::vector<std::uint32_t> deps;
+  if (step == 0 || width == 0 || task >= width) return deps;
+  switch (p) {
+    case Pattern::kStencil:
+      if (task > 0) deps.push_back(task - 1);
+      deps.push_back(task);
+      if (task + 1 < width) deps.push_back(task + 1);
+      break;
+    case Pattern::kFft: {
+      deps.push_back(task);
+      const std::uint32_t partner =
+          task ^ (1u << ((step - 1) % log2_ceil(width)));
+      if (partner < width) deps.push_back(partner);
+      break;
+    }
+    case Pattern::kTree:
+      if (step % 2 == 1) {
+        // Fan-in: children fold upward; tasks past the fold have no
+        // dependencies and fire on the step broadcast alone.
+        if (2 * task < width) deps.push_back(2 * task);
+        if (2 * task + 1 < width) deps.push_back(2 * task + 1);
+      } else {
+        deps.push_back(task / 2);  // fan-out: parent re-seeds children
+      }
+      break;
+    case Pattern::kRandom:
+      deps.push_back(task);  // self-dep keeps every chain alive
+      for (std::uint32_t s = 0; s < 2; ++s) {
+        const std::uint64_t h =
+            mix64((std::uint64_t{step} << 40) ^ (std::uint64_t{task} << 8) ^
+                  s);
+        deps.push_back(static_cast<std::uint32_t>(h % width));
+      }
+      break;
+    case Pattern::kSpread: {
+      deps.push_back(task);
+      const std::uint32_t stride = width / 3 == 0 ? 1 : width / 3;
+      for (std::uint32_t s = 1; s <= 2; ++s) {
+        deps.push_back((task + step + s * stride) % width);
+      }
+      break;
+    }
+  }
+  finish(deps);
+  return deps;
+}
+
+std::vector<std::uint32_t> dependents(Pattern p, std::uint32_t width,
+                                      std::uint32_t step,
+                                      std::uint32_t task) {
+  // The patterns are cheap pure functions over a small width, so the
+  // inverse is an exact scan — no chance of drifting from dependencies().
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t j = 0; j < width; ++j) {
+    const auto deps = dependencies(p, width, step + 1, j);
+    if (std::binary_search(deps.begin(), deps.end(), task)) out.push_back(j);
+  }
+  return out;
+}
+
+std::uint64_t message_count(Pattern p, std::uint32_t width,
+                            std::uint32_t steps) {
+  std::uint64_t n = 0;
+  for (std::uint32_t t = 1; t < steps; ++t) {
+    for (std::uint32_t j = 0; j < width; ++j) {
+      n += dependencies(p, width, t, j).size();
+    }
+  }
+  return n;
+}
+
+}  // namespace bgq::taskbench

@@ -53,6 +53,11 @@ enum class EventKind : std::uint8_t {
   kSimEvent,         ///< instant; one DES dispatch; arg = sequence low bits
   kTaskBegin,        ///< span; a Server occupancy interval
   kTaskEnd,          ///< span
+  // Message aggregation (src/tram/, runtime-gated like the machine
+  // layer's events).
+  kTramFlushBegin,   ///< span; a staged batch is packed + sent;
+                     ///< arg = destination process
+  kTramFlushEnd,     ///< span; arg = destination process
   // Free-form instrumentation from benches/tests.
   kUser,             ///< instant; meaning of arg is the emitter's business
 };
@@ -89,6 +94,8 @@ inline const char* kind_name(EventKind k) noexcept {
     case EventKind::kSimEvent: return "sim.event";
     case EventKind::kTaskBegin:
     case EventKind::kTaskEnd: return "task";
+    case EventKind::kTramFlushBegin:
+    case EventKind::kTramFlushEnd: return "tram.flush";
     case EventKind::kUser: return "user";
   }
   return "?";
@@ -101,7 +108,8 @@ inline bool is_begin(EventKind k) noexcept {
     case EventKind::kIdleBegin:
     case EventKind::kParkBegin:
     case EventKind::kPhaseBegin:
-    case EventKind::kTaskBegin: return true;
+    case EventKind::kTaskBegin:
+    case EventKind::kTramFlushBegin: return true;
     default: return false;
   }
 }
@@ -112,7 +120,8 @@ inline bool is_end(EventKind k) noexcept {
     case EventKind::kIdleEnd:
     case EventKind::kParkEnd:
     case EventKind::kPhaseEnd:
-    case EventKind::kTaskEnd: return true;
+    case EventKind::kTaskEnd:
+    case EventKind::kTramFlushEnd: return true;
     default: return false;
   }
 }

@@ -1,0 +1,101 @@
+// Batch wire format for TRAM-style message aggregation.
+//
+// A batch is an ordinary Converse message whose payload is a sequence of
+// *records*, each a verbatim MsgHeader followed by that message's payload,
+// padded to the header's 16-byte alignment:
+//
+//   [MsgHeader | payload | pad][MsgHeader | payload | pad]...
+//
+// Shipping the full header per record keeps every per-message property —
+// destination PE, handler, checkpoint epoch, causal trace id — intact
+// across aggregation, so the receive side can re-materialize each message
+// and hand it to the normal delivery path unchanged.  The codec is
+// header-only and machine-independent: the schedule fuzzer drives it over
+// raw PAMI clients with no cvs::Machine around.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "converse/message.hpp"
+
+namespace bgq::tram {
+
+/// Records are padded to the header's alignment so each record's header
+/// lands naturally aligned within the batch payload.
+inline constexpr std::size_t kRecordAlign = alignof(cvs::MsgHeader);
+
+/// Bytes one record occupies in a batch (header + payload + pad).
+inline constexpr std::size_t record_bytes(std::size_t payload) noexcept {
+  return (sizeof(cvs::MsgHeader) + payload + (kRecordAlign - 1)) &
+         ~(kRecordAlign - 1);
+}
+
+/// Walk the records of a batch payload, invoking `fn(header, payload)`
+/// per record.  Returns the record count.  A truncated or malformed tail
+/// (a record extending past `bytes`) stops the walk instead of reading
+/// out of bounds — the reliability layer's checksums make that a
+/// shouldn't-happen, but the chaos fabric exists to make shouldn't-
+/// happens happen.
+template <class Fn>
+inline std::size_t for_each_record(const std::byte* data, std::size_t bytes,
+                                   Fn&& fn) {
+  std::size_t off = 0;
+  std::size_t n = 0;
+  while (off + sizeof(cvs::MsgHeader) <= bytes) {
+    cvs::MsgHeader h;
+    std::memcpy(&h, data + off, sizeof h);
+    if (off + sizeof(cvs::MsgHeader) + h.payload_bytes > bytes) break;
+    fn(h, data + off + sizeof(cvs::MsgHeader));
+    off += record_bytes(h.payload_bytes);
+    ++n;
+  }
+  return n;
+}
+
+/// Append-only batch builder: one per (source PE, destination process)
+/// staging slot in the Router, also used standalone by tests and the
+/// fuzzer.  Owns its bytes; capacity is a soft target (reserve), not a
+/// hard wall — the Router checks fits() before appending.
+class BatchWriter {
+ public:
+  BatchWriter() = default;
+  explicit BatchWriter(std::size_t capacity_bytes) { buf_.reserve(capacity_bytes); }
+
+  /// Would appending a `payload`-byte message keep the batch within
+  /// `limit_bytes`?  An empty batch always fits one record — a message
+  /// small enough to aggregate must never be unsendable.
+  bool fits(std::size_t payload, std::size_t limit_bytes) const noexcept {
+    return buf_.empty() || buf_.size() + record_bytes(payload) <= limit_bytes;
+  }
+
+  /// Append one record (header copied verbatim, then payload, then pad).
+  void append(const cvs::MsgHeader& h, const void* payload) {
+    const std::size_t rb = record_bytes(h.payload_bytes);
+    const std::size_t at = buf_.size();
+    buf_.resize(at + rb);
+    std::memcpy(buf_.data() + at, &h, sizeof h);
+    if (h.payload_bytes != 0) {
+      std::memcpy(buf_.data() + at + sizeof h, payload, h.payload_bytes);
+    }
+    ++count_;
+  }
+
+  bool empty() const noexcept { return count_ == 0; }
+  unsigned count() const noexcept { return count_; }
+  std::size_t bytes() const noexcept { return buf_.size(); }
+  const std::byte* data() const noexcept { return buf_.data(); }
+
+  void clear() noexcept {
+    buf_.clear();
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  unsigned count_ = 0;
+};
+
+}  // namespace bgq::tram

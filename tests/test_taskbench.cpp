@@ -1,0 +1,197 @@
+// Task Bench conformance: the dependence patterns as pure functions
+// (sorted, deduped, in range, exact producer/consumer inverses), and the
+// runner's digest invariance — aggregated vs plain runs of every pattern
+// must be bit-identical, with a clean fabric, under a chaos plan, and
+// across a crash + rollback replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "net/fault.hpp"
+#include "taskbench/patterns.hpp"
+#include "taskbench/runner.hpp"
+
+namespace {
+
+using bgq::net::FaultPlan;
+using bgq::taskbench::dependencies;
+using bgq::taskbench::dependents;
+using bgq::taskbench::kAllPatterns;
+using bgq::taskbench::message_count;
+using bgq::taskbench::parse_pattern;
+using bgq::taskbench::Params;
+using bgq::taskbench::Pattern;
+using bgq::taskbench::pattern_name;
+using bgq::taskbench::TaskBenchApp;
+
+// ---------------------------------------------------------------------------
+// Patterns as pure functions
+// ---------------------------------------------------------------------------
+
+TEST(TaskbenchPatterns, NamesRoundTrip) {
+  for (Pattern p : kAllPatterns) {
+    const auto parsed = parse_pattern(pattern_name(p));
+    ASSERT_TRUE(parsed.has_value()) << pattern_name(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_pattern("no-such-pattern").has_value());
+}
+
+TEST(TaskbenchPatterns, StepZeroHasNoDependencies) {
+  for (Pattern p : kAllPatterns) {
+    for (std::uint32_t t = 0; t < 8; ++t) {
+      EXPECT_TRUE(dependencies(p, 8, 0, t).empty()) << pattern_name(p);
+    }
+  }
+}
+
+TEST(TaskbenchPatterns, DependenciesAreSortedUniqueAndInRange) {
+  constexpr std::uint32_t kWidth = 11;  // odd width stresses tree/fft edges
+  for (Pattern p : kAllPatterns) {
+    for (std::uint32_t s = 1; s < 10; ++s) {
+      for (std::uint32_t t = 0; t < kWidth; ++t) {
+        const auto deps = dependencies(p, kWidth, s, t);
+        EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()));
+        EXPECT_EQ(std::adjacent_find(deps.begin(), deps.end()), deps.end())
+            << pattern_name(p) << " step " << s << " task " << t;
+        for (std::uint32_t d : deps) EXPECT_LT(d, kWidth);
+      }
+    }
+  }
+}
+
+TEST(TaskbenchPatterns, DependentsAreTheExactInverseOfDependencies) {
+  constexpr std::uint32_t kWidth = 9;
+  for (Pattern p : kAllPatterns) {
+    for (std::uint32_t s = 0; s + 1 < 8; ++s) {
+      for (std::uint32_t producer = 0; producer < kWidth; ++producer) {
+        const auto outs = dependents(p, kWidth, s, producer);
+        for (std::uint32_t consumer = 0; consumer < kWidth; ++consumer) {
+          const auto deps = dependencies(p, kWidth, s + 1, consumer);
+          const bool produces =
+              std::binary_search(outs.begin(), outs.end(), consumer);
+          const bool consumes =
+              std::binary_search(deps.begin(), deps.end(), producer);
+          EXPECT_EQ(produces, consumes)
+              << pattern_name(p) << " step " << s << ": " << producer
+              << " -> " << consumer;
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskbenchPatterns, MessageCountMatchesDependencySum) {
+  constexpr std::uint32_t kWidth = 8, kSteps = 6;
+  for (Pattern p : kAllPatterns) {
+    std::uint64_t expect = 0;
+    for (std::uint32_t s = 1; s < kSteps; ++s) {
+      for (std::uint32_t t = 0; t < kWidth; ++t) {
+        expect += dependencies(p, kWidth, s, t).size();
+      }
+    }
+    EXPECT_EQ(message_count(p, kWidth, kSteps), expect) << pattern_name(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner conformance: digests must be machine-configuration invariant
+// ---------------------------------------------------------------------------
+
+struct RunOut {
+  std::uint64_t digest = 0;
+  double total = 0;
+  bool finished = false;
+  std::uint64_t tram_appends = 0;
+  std::uint64_t recoveries = 0;
+};
+
+RunOut run(Pattern p, bool aggregated, const FaultPlan& faults = {},
+           bool ft_crash = false, std::uint32_t steps = 10) {
+  bgq::cvs::MachineConfig cfg;
+  if (ft_crash) {
+    // The test_recovery idiom: frequent checkpoints, fast failure
+    // detection, one injected crash mid-run.
+    cfg.nodes = 4;
+    cfg.mode = bgq::cvs::Mode::kSmp;
+    cfg.workers_per_process = 1;
+    cfg.ft.enabled = true;
+    cfg.ft.checkpoint_period_ms = 5;
+    cfg.ft.heartbeat_period_ms = 2;
+    cfg.ft.failure_timeout_ms = 15;
+    cfg.ft.watchdog_abort = false;
+  } else {
+    cfg.nodes = 2;
+    cfg.mode = bgq::cvs::Mode::kSmp;
+    cfg.workers_per_process = 2;
+  }
+  cfg.faults = faults;
+  cfg.tram.enabled = aggregated;
+  bgq::cvs::Machine machine(cfg);
+  bgq::charm::Runtime rt(machine);
+  Params prm;
+  prm.pattern = p;
+  prm.width = 8;
+  prm.steps = steps;
+  prm.payload_bytes = 24;
+  prm.grain = 50;
+  TaskBenchApp app(rt, prm);
+  machine.run([&](bgq::cvs::Pe& pe) {
+    if (pe.rank() == 0) app.start(pe);
+  });
+  const bgq::trace::Report rep = machine.metrics_report();
+  RunOut out;
+  out.digest = app.digest();
+  out.total = app.final_total();
+  out.finished = app.finished();
+  out.tram_appends = rep.value("tram.appends");
+  out.recoveries = rep.value("ft.recoveries");
+  return out;
+}
+
+TEST(TaskbenchConformance, AggregationPreservesDigestsForEveryPattern) {
+  for (Pattern p : kAllPatterns) {
+    const RunOut plain = run(p, /*aggregated=*/false);
+    const RunOut tram = run(p, /*aggregated=*/true);
+    ASSERT_TRUE(plain.finished) << pattern_name(p);
+    ASSERT_TRUE(tram.finished) << pattern_name(p);
+    EXPECT_EQ(plain.digest, tram.digest) << pattern_name(p);
+    EXPECT_EQ(plain.total, tram.total) << pattern_name(p);
+    EXPECT_GT(tram.tram_appends, 0u)
+        << pattern_name(p) << ": the aggregated run never batched anything";
+  }
+}
+
+TEST(TaskbenchConformance, AggregationPreservesDigestsUnderChaos) {
+  const FaultPlan chaos =
+      FaultPlan::parse("drop=0.02,dup=0.02,delay=0.05,seed=77");
+  for (Pattern p : kAllPatterns) {
+    const RunOut ref = run(p, /*aggregated=*/false);
+    const RunOut tram = run(p, /*aggregated=*/true, chaos);
+    ASSERT_TRUE(ref.finished) << pattern_name(p);
+    ASSERT_TRUE(tram.finished) << pattern_name(p);
+    EXPECT_EQ(ref.digest, tram.digest) << pattern_name(p);
+    EXPECT_EQ(ref.total, tram.total) << pattern_name(p);
+  }
+}
+
+TEST(TaskbenchConformance, AggregatedRunSurvivesCrashBitIdentical) {
+  // Crash one process mid-run with aggregation on; the rollback replay
+  // must land on the same digest as a crash-free unaggregated run —
+  // stale staged batches and in-flight pre-crash batches must all be
+  // discarded by the epoch checks, never replayed into fresh state.
+  constexpr std::uint32_t kSteps = 40;  // crash at ~200 msgs lands early
+  const Pattern p = Pattern::kStencil;
+  const RunOut ref = run(p, /*aggregated=*/false, {}, false, kSteps);
+  ASSERT_TRUE(ref.finished);
+  const FaultPlan crash = FaultPlan::parse("crash@1:200msg");
+  const RunOut tram =
+      run(p, /*aggregated=*/true, crash, /*ft_crash=*/true, kSteps);
+  ASSERT_TRUE(tram.finished);
+  EXPECT_GE(tram.recoveries, 1u) << "the crash never fired or never healed";
+  EXPECT_EQ(ref.digest, tram.digest);
+  EXPECT_EQ(ref.total, tram.total);
+}
+
+}  // namespace
