@@ -26,6 +26,7 @@
 #include "converse/machine.hpp"
 #include "net/fault.hpp"
 #include "trace/analysis.hpp"
+#include "transport_pingpong.hpp"
 
 using namespace bgq;
 
@@ -172,10 +173,44 @@ cvs::MachineConfig mode_config(cvs::Mode mode) {
 
 }  // namespace
 
+/// `--transport=shm|socket`: the ping-pong with the two PEs in two real
+/// OS processes over the named backend (fork; see transport_pingpong.hpp)
+/// instead of the in-process Fig. 4/5 mode sweeps — the per-mode figures
+/// are meaningless across processes, but the latency-vs-size curve over
+/// a real transport hop is exactly what the backends trade off.
+int run_transport_sweep(bench::JsonReport& json, transport::Kind kind,
+                        int rounds) {
+  const char* name = transport::kind_name(kind);
+  std::printf("== one-way latency over the %s transport "
+              "(2 OS processes, 1 PE each) ==\n\n", name);
+  constexpr std::size_t kSizes[] = {16u, 512u, 2048u, 8192u, 65536u};
+  bgq::bench_transport::PingPongResult at[std::size(kSizes)];
+  const bool ok =
+      bgq::bench_transport::with_ranks(kind, "pp", [&](auto make_config) {
+        for (std::size_t s = 0; s < std::size(kSizes); ++s) {
+          at[s] = bgq::bench_transport::run_pingpong_ranked(
+              make_config(static_cast<int>(s)), kSizes[s], rounds);
+        }
+      });
+  if (!ok) return 1;
+  TextTable table({"bytes", "one_way_us"});
+  for (std::size_t s = 0; s < std::size(kSizes); ++s) {
+    table.row(kSizes[s], at[s].one_way_us);
+    json.add("transport." + std::string(name) + ".us." +
+                 std::to_string(kSizes[s]),
+             at[s].one_way_us);
+  }
+  table.print();
+  json.add("transport." + std::string(name) + ".injects",
+           at[std::size(kSizes) - 1].injects);
+  return json.write();
+}
+
 int main(int argc, char** argv) {
   bench::JsonReport json = bench::parse_args(argc, argv, "bench_pingpong");
   bool want_trace = false;
   std::string trace_path = "pingpong_trace.json";
+  transport::Kind kind = transport::Kind::kInProc;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       g_faults = net::FaultPlan::parse("drop=0.01,dup=0.01,delay=0.02,"
@@ -187,7 +222,23 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       want_trace = true;
       trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      const std::string v = argv[i] + 12;
+      if (v == "inproc") {
+        kind = transport::Kind::kInProc;
+      } else if (v == "shm") {
+        kind = transport::Kind::kShm;
+      } else if (v == "socket") {
+        kind = transport::Kind::kSocket;
+      } else {
+        std::fprintf(stderr,
+                     "bench_pingpong: --transport=inproc|shm|socket\n");
+        return 2;
+      }
     }
+  }
+  if (kind != transport::Kind::kInProc) {
+    return run_transport_sweep(json, kind, 300);
   }
   if (g_faults.enabled()) {
     std::printf("** chaos plan active: latencies include ack/retransmit "

@@ -60,6 +60,14 @@ class FtFft2D {
   /// FNV-1a digest of every element's grid rows, in element order.
   std::uint64_t digest() const;
 
+  /// Per-element view for multi-process runs, where a rank's digest() is
+  /// only meaningful over locally-homed elements: the launcher merges the
+  /// ranks' per-element digests and folds them in element order, which
+  /// reproduces digest() bit-for-bit.
+  std::size_t element_count() const { return elems_; }
+  cvs::PeRank element_home(std::size_t e) const { return arr_->home(e); }
+  std::uint64_t element_digest(std::size_t e) const;
+
  private:
   class Elem;
 
@@ -285,6 +293,10 @@ inline std::uint64_t FtFft2D::digest() const {
   return h;
 }
 
+inline std::uint64_t FtFft2D::element_digest(std::size_t e) const {
+  return raw_[e]->digest_into(14695981039346656037ull);
+}
+
 // ---------------------------------------------------------------------------
 // FtMdRing
 // ---------------------------------------------------------------------------
@@ -299,6 +311,11 @@ class FtMdRing {
   double final_energy() const { return final_energy_.load(); }
   bool finished() const { return done_.load(); }
   std::uint64_t digest() const;
+
+  /// Per-element view (see FtFft2D::element_digest).
+  std::size_t element_count() const { return patches_; }
+  cvs::PeRank element_home(std::size_t e) const { return arr_->home(e); }
+  std::uint64_t element_digest(std::size_t e) const;
 
  private:
   class Patch;
@@ -487,6 +504,10 @@ inline std::uint64_t FtMdRing::digest() const {
   std::uint64_t h = 14695981039346656037ull;
   for (const Patch* p : raw_) h = p->digest_into(h);
   return h;
+}
+
+inline std::uint64_t FtMdRing::element_digest(std::size_t e) const {
+  return raw_[e]->digest_into(14695981039346656037ull);
 }
 
 }  // namespace bgq::charm

@@ -10,6 +10,7 @@
 #include "net/params.hpp"
 #include "pami/reliability.hpp"
 #include "tram/config.hpp"
+#include "transport/config.hpp"
 
 namespace bgq::cvs {
 
@@ -98,6 +99,15 @@ struct MachineConfig {
   /// net.fifo.spills) — or are refused outright under
   /// FaultPlan::reject_on_full.
   std::size_t rec_fifo_capacity = 4096;
+
+  /// Transport backend (src/transport/).  Default inproc: the whole job in
+  /// this OS process, exactly as before.  A remote kind (shm / socket)
+  /// makes this OS process host *one* emulated process — transport.rank —
+  /// of a transport.nprocs-rank job; the machine layer validates
+  /// nprocs == process_count().  When left at inproc, the machine consults
+  /// the BGQ_TRANSPORT environment variable (how the bgq-run launcher
+  /// configures the ranks it spawns); an explicit config wins.
+  transport::Config transport{};
 
   // ---- derived ----------------------------------------------------------
   unsigned effective_processes_per_node() const {

@@ -1,6 +1,7 @@
 #include "converse/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -10,6 +11,8 @@
 #include "ft/manager.hpp"
 #include "trace/trace_io.hpp"
 #include "tram/aggregator.hpp"
+#include "transport/shm.hpp"
+#include "transport/socket.hpp"
 
 namespace bgq::cvs {
 
@@ -374,7 +377,12 @@ void Process::send_on_context(pami::Context& ctx, PeRank dst, Message* m) {
   p.metadata_bytes = sizeof(MsgHeader);
   p.cid = hdr.cid();
 
-  if (bytes > machine_.config().eager_max) {
+  // Rendezvous ships a raw source-buffer pointer and pulls it with rget —
+  // meaningless across address spaces, so remote-process destinations go
+  // eager at any size (the eager path copies the payload either way).
+  const bool rzv = bytes > machine_.config().eager_max &&
+                   machine_.process_local(dst_ep);
+  if (rzv) {
     // Rendezvous (§III): ship a short request carrying the source buffer
     // token; the receiver rgets the payload and acks so we can free.
     RzvToken token{m};
@@ -531,9 +539,44 @@ Machine::Machine(MachineConfig cfg)
   hist_ids_.network_ns = metrics_.intern_hist("lat.network_ns");
   hist_ids_.queue_ns = metrics_.intern_hist("lat.queue_ns");
   hist_ids_.handler_ns = metrics_.intern_hist("lat.handler_ns");
+  // Transport backend: an explicit config wins; otherwise BGQ_TRANSPORT
+  // lets the bgq-run launcher make any existing binary host one rank of a
+  // multi-process job.
+  if (!cfg_.transport.remote()) {
+    cfg_.transport = transport::Config::from_env();
+  }
+  multiproc_ = cfg_.transport.remote();
+  if (multiproc_) {
+    if (cfg_.transport.nprocs != cfg_.process_count()) {
+      throw std::invalid_argument(
+          "transport nprocs does not match the machine's process count");
+    }
+    if (cfg_.effective_workers_per_process() != 1) {
+      // Ranks coordinate through one protocol PE each; SMP workers would
+      // need a per-rank sub-barrier nothing here exercises.
+      throw std::invalid_argument(
+          "multi-process transports require one worker per process");
+    }
+    switch (cfg_.transport.kind) {
+      case transport::Kind::kShm:
+        transport_ = std::make_unique<transport::ShmTransport>(cfg_.transport);
+        break;
+      case transport::Kind::kSocket:
+        transport_ =
+            std::make_unique<transport::SocketTransport>(cfg_.transport);
+        break;
+      case transport::Kind::kInProc:
+        break;  // unreachable: remote() gated above
+    }
+  }
   fabric_ = std::make_unique<net::Fabric>(
       torus_, cfg_.net, cfg_.contexts_per_process(),
-      cfg_.effective_processes_per_node(), cfg_.rec_fifo_capacity);
+      cfg_.effective_processes_per_node(), cfg_.rec_fifo_capacity,
+      transport_.get());
+  if (multiproc_) {
+    fabric_->transport().set_ctrl_handler(
+        [this](const transport::CtrlMsg& m) { on_ctrl(m); });
+  }
   // Chaos layer: an explicit plan in the config wins; otherwise the
   // BGQ_FAULT_PLAN environment variable lets any existing run go faulty.
   net::FaultPlan plan =
@@ -576,6 +619,50 @@ HandlerId Machine::register_handler(HandlerFn fn) {
   return static_cast<HandlerId>(handlers_.size() - 1);
 }
 
+void Machine::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (multiproc_ && !stop_sent_.exchange(true, std::memory_order_acq_rel)) {
+    // Receivers store stop_ directly (no re-broadcast), so the exchange
+    // guard means each rank originates at most one kStop storm.
+    transport::CtrlMsg m;
+    m.type = ctrl::kStop;
+    try {
+      send_ctrl(-1, std::move(m));
+    } catch (...) {
+      // A peer torn down mid-shutdown is fine; its own exit stops it.
+    }
+  }
+}
+
+void Machine::send_ctrl(int dst, transport::CtrlMsg m) {
+  if (!multiproc_) return;
+  m.origin = cfg_.transport.rank;
+  fabric_->transport().send_ctrl(dst, m);
+}
+
+void Machine::on_ctrl(const transport::CtrlMsg& m) {
+  switch (m.type) {
+    case ctrl::kStop:
+      stop_.store(true, std::memory_order_release);
+      return;
+    case ctrl::kBarrier: {
+      // Merge a remote PE's arrival count (monotone max: counts only
+      // grow, and re-deliveries must never move a slot backwards).
+      if (m.a >= barrier_slots_.size()) return;
+      auto& slot = barrier_slots_[m.a].n;
+      std::uint64_t cur = slot.load(std::memory_order_acquire);
+      while (cur < m.b &&
+             !slot.compare_exchange_weak(cur, m.b,
+                                         std::memory_order_acq_rel)) {
+      }
+      return;
+    }
+    default:
+      if (m.type >= ctrl::kFtBase && ft_ != nullptr) ft_->on_ctrl(m);
+      return;
+  }
+}
+
 void Machine::worker_barrier(Pe* self) {
   // Per-PE-slot barrier that keeps the caller's network progressing.  A PE
   // parked in a blocking barrier could never run its reliability
@@ -596,6 +683,15 @@ void Machine::worker_barrier(Pe* self) {
   const std::size_t me = self->rank();
   const std::uint64_t target =
       barrier_slots_[me].n.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (multiproc_) {
+    // Remote PEs' slots are fed by their ranks' kBarrier broadcasts (the
+    // poller merges them with a monotone max); ship ours out.
+    transport::CtrlMsg bm;
+    bm.type = ctrl::kBarrier;
+    bm.a = me;
+    bm.b = target;
+    send_ctrl(-1, std::move(bm));
+  }
   pami::Context* ctx = self->owned_context();
   const unsigned wpp = cfg_.effective_workers_per_process();
   for (std::size_t i = 0; i < barrier_slots_.size(); ++i) {
@@ -636,16 +732,33 @@ void Machine::kill_process(std::size_t p) {
 
 void Machine::run(const std::function<void(Pe&)>& init) {
   stop_.store(false, std::memory_order_release);
+  stop_sent_.store(false, std::memory_order_release);
 
   const unsigned commthreads = cfg_.effective_comm_threads();
   if (commthreads != 0) {
-    for (auto& p : processes_) p->start_comm_threads(commthreads);
+    for (auto& p : processes_) {
+      if (process_local(p->endpoint())) p->start_comm_threads(commthreads);
+    }
+  }
+  if (multiproc_) {
+    // The poller drains transport frames into local reception FIFOs and
+    // runs the ctrl handler; it must be live before the first barrier.
+    poller_stop_.store(false, std::memory_order_release);
+    poller_ = std::thread([this] {
+      while (!poller_stop_.load(std::memory_order_acquire)) {
+        if (fabric_->progress() == 0) std::this_thread::yield();
+      }
+    });
   }
   if (ft_) ft_->start();  // monitor thread: crashes, heartbeats, watchdog
 
+  // Every Process object exists on every rank (so endpoint addressing,
+  // placement and checkpoint re-homing stay global computations), but
+  // only the local rank's PEs get threads in a multi-process job.
   std::vector<std::thread> workers;
   workers.reserve(pe_count());
   for (auto& proc : processes_) {
+    if (!process_local(proc->endpoint())) continue;
     for (unsigned w = 0; w < proc->worker_count(); ++w) {
       Pe* pe = &proc->pe(w);
       workers.emplace_back([this, pe, w, &init] {
@@ -661,6 +774,15 @@ void Machine::run(const std::function<void(Pe&)>& init) {
   for (auto& t : workers) t.join();
 
   if (ft_) ft_->stop();
+  if (multiproc_) {
+    // Keep draining briefly after our workers exit: peers finishing a
+    // beat later may still be flushing frames (a blocked socket writer on
+    // the far side would wedge its shutdown otherwise).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    poller_stop_.store(true, std::memory_order_release);
+    if (poller_.joinable()) poller_.join();
+    fabric_->transport().flush();
+  }
   for (auto& p : processes_) p->stop_comm_threads();
 }
 
@@ -743,6 +865,17 @@ trace::Report Machine::metrics_report() {
   metrics_.set_gauge("net.dedup.evicted", evicted);
   metrics_.set_gauge("net.dead_peer_drops", dead_drops);
   metrics_.set_gauge("net.blackholed", fabric_->blackholed());
+
+  // Transport counters: stable keys, all zeros for in-process runs.
+  const transport::Counters& tc = fabric_->transport().counters();
+  metrics_.set_gauge("net.transport.injects",
+                     tc.injects.load(std::memory_order_relaxed));
+  metrics_.set_gauge("net.transport.polls",
+                     tc.polls.load(std::memory_order_relaxed));
+  metrics_.set_gauge("net.transport.ring_full",
+                     tc.ring_full.load(std::memory_order_relaxed));
+  metrics_.set_gauge("net.transport.reconnects",
+                     tc.reconnects.load(std::memory_order_relaxed));
 
   // Fault-tolerance counters: same stable-key-set policy — all zeros on a
   // run with no FT armed.

@@ -47,6 +47,22 @@ class Machine;
 class Process;
 class Pe;
 
+/// Control-message type registry for the transport's out-of-band plane
+/// (transport::CtrlMsg::type).  The machine layer owns types below
+/// kFtBase and routes everything at or above it to the FT manager.
+namespace ctrl {
+inline constexpr std::uint16_t kStop = 1;     ///< request_stop broadcast
+inline constexpr std::uint16_t kBarrier = 2;  ///< a=pe rank, b=arrival count
+inline constexpr std::uint16_t kFtBase = 16;
+inline constexpr std::uint16_t kFtRegs = 16;      ///< a=sent b=executed c=gen
+inline constexpr std::uint16_t kCkptReq = 17;     ///< pull ranks into ckpt
+inline constexpr std::uint16_t kCkptPlan = 18;    ///< a=seq b=go c=members
+inline constexpr std::uint16_t kCkptBlob = 19;    ///< a=seq b=proc, blob
+inline constexpr std::uint16_t kCkptDone = 20;    ///< a=seq, to the leader
+inline constexpr std::uint16_t kCkptCommit = 21;  ///< a=seq c=members
+inline constexpr std::uint16_t kRecBlob = 22;     ///< a=seq b=proc, blob
+}  // namespace ctrl
+
 /// A Converse handler.  Owns the message: it must either free it
 /// (pe.free_message) or forward it (pe.send_message).
 using HandlerFn = std::function<void(Pe&, Message*)>;
@@ -289,9 +305,24 @@ class Machine {
   bool stopping() const noexcept {
     return stop_.load(std::memory_order_acquire);
   }
-  void request_stop() noexcept {
-    stop_.store(true, std::memory_order_release);
+  /// Stop every PE's scheduler.  In a multi-process job the first call
+  /// also broadcasts a kStop control frame so the other ranks stop too.
+  void request_stop() noexcept;
+
+  // ---- multi-process transport (src/transport/) --------------------------
+
+  /// True when this OS process hosts only one emulated process of a
+  /// larger job (MachineConfig::transport, or BGQ_TRANSPORT).
+  bool multiproc() const noexcept { return multiproc_; }
+  /// The transport rank this OS process hosts (0 when single-process).
+  unsigned local_rank() const noexcept { return cfg_.transport.rank; }
+  /// Emulated process `p`'s threads run in this OS process.
+  bool process_local(std::size_t p) const noexcept {
+    return !multiproc_ || p == cfg_.transport.rank;
   }
+  /// Send a machine-layer control message (`dst` = transport rank, -1 =
+  /// every other rank).  Stamps the origin; no-op single-process.
+  void send_ctrl(int dst, transport::CtrlMsg m);
 
   /// Worker barrier: callable only from PE threads during run().  Pass the
   /// calling PE so the barrier can keep advancing its PAMI context while
@@ -427,6 +458,9 @@ class Machine {
   void write_flat_trace(std::ostream& os);
 
  private:
+  /// Inbound control frames (runs on the transport poller thread).
+  void on_ctrl(const transport::CtrlMsg& m);
+
   MachineConfig cfg_;
   topo::Torus torus_;
   trace::Registry metrics_;
@@ -435,10 +469,20 @@ class Machine {
   HistIds hist_ids_;
   std::unique_ptr<tram::Router> tram_;
   trace::Session trace_;
+  // Declared before the fabric: the fabric holds a raw pointer to the
+  // transport, so the transport must outlive it.
+  std::unique_ptr<transport::Transport> transport_;
+  bool multiproc_ = false;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<HandlerFn> handlers_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_sent_{false};
+
+  // Transport poller (multiproc only): drains inbound frames into local
+  // reception FIFOs and runs the ctrl handler for the whole run.
+  std::thread poller_;
+  std::atomic<bool> poller_stop_{false};
 
   // Liveness-aware per-PE-slot barrier (see worker_barrier): each PE
   // counts its own arrivals in a padded slot; a barrier completes when

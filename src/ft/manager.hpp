@@ -31,6 +31,7 @@
 #include "ft/config.hpp"
 #include "ft/store.hpp"
 #include "net/fault.hpp"
+#include "transport/transport.hpp"
 
 namespace bgq::cvs {
 class Machine;
@@ -93,8 +94,14 @@ class Manager {
   bool checkpoint_due() const;
 
   /// Bookkeeping hook for Machine::kill_process: the copies a dead
-  /// process held are gone.
-  void on_killed(unsigned proc) { store_.drop_holder(proc); }
+  /// process held are gone.  (In a multi-process job each rank's store
+  /// only ever holds copies in its own memory — a dead rank's store dies
+  /// with its OS process — so there is nothing to drop.)
+  void on_killed(unsigned proc);
+
+  /// FT control frames (ctrl::kFtBase and up) routed here by the machine
+  /// layer.  Runs on the transport poller thread.
+  void on_ctrl(const transport::CtrlMsg& m);
 
   /// Set when the watchdog fired with watchdog_abort == false.
   bool hang_detected() const noexcept {
@@ -130,11 +137,16 @@ class Manager {
   void dump_diagnostics(const char* why);
 
   void do_checkpoint(cvs::Pe& pe);
+  void do_checkpoint_multi(cvs::Pe& pe);
   void do_recover(cvs::Pe& pe);
+  void do_recover_multi(cvs::Pe& pe);
   bool is_leader(const cvs::Pe& pe) const;
   bool wait_quiesce(cvs::Pe& pe);
+  bool wait_quiesce_multi(cvs::Pe& pe);
   unsigned buddy_of(unsigned proc) const;
   void snapshot_all(std::uint64_t seq);
+  std::uint64_t live_mask() const;
+  void record_members(std::uint64_t seq, std::uint64_t mask);
 
   cvs::Machine& mach_;
   const Config cfg_;
@@ -147,6 +159,36 @@ class Manager {
   std::atomic<Phase> phase_{Phase::kRun};
   std::atomic<std::uint64_t> ckpt_seq_{0};
   std::atomic<std::uint64_t> last_ckpt_ns_{0};
+
+  // ---- multi-process protocol state (idle single-process) --------------
+  // Per-rank quiescence registers, fed by each rank's monitor broadcasting
+  // kFtRegs every tick.  gen is written last (release) so a reader that
+  // sees it advanced sees a row at least that fresh.
+  struct alignas(64) RegsRow {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> exec{0};
+    std::atomic<std::uint64_t> gen{0};
+  };
+  std::vector<RegsRow> regs_;  ///< by transport rank; sized when multiproc
+  std::atomic<std::uint64_t> regs_gen_{0};
+
+  // Leader -> ranks checkpoint plan.  One plan is outstanding at a time
+  // (serialized by the protocol barriers); stamp is bumped last.
+  std::atomic<std::uint64_t> plan_seq_{0};
+  std::atomic<std::uint64_t> plan_go_{0};
+  std::atomic<std::uint64_t> plan_members_{0};
+  std::atomic<std::uint64_t> plan_stamp_{0};
+  std::uint64_t plan_seen_ = 0;  ///< protocol PE only
+
+  std::atomic<std::uint64_t> done_count_{0};  ///< kCkptDone arrivals (leader)
+
+  // Which procs a committed epoch covers (recovery must gather exactly
+  // these blobs) and the blob exchange for an in-flight recovery.
+  std::mutex members_mu_;
+  std::map<std::uint64_t, std::uint64_t> members_by_seq_;
+  std::mutex rec_mu_;
+  std::map<std::uint64_t, std::map<unsigned, std::vector<std::byte>>>
+      rec_blobs_;
 
   // Monitor thread.
   std::thread monitor_;

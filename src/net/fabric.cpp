@@ -30,7 +30,7 @@ struct Fabric::FaultState {
 
 Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
                unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node,
-               std::size_t fifo_capacity)
+               std::size_t fifo_capacity, transport::Transport* transport)
     : torus_(torus),
       params_(params),
       fifos_per_node_(rec_fifos_per_endpoint),
@@ -48,8 +48,18 @@ Fabric::Fabric(const topo::Torus& torus, NetworkParams params,
   for (std::size_t i = 0; i < endpoint_count() * fifos_per_node_; ++i) {
     fifos_.push_back(std::make_unique<ReceptionFifo>(fifo_capacity));
   }
-  dead_ = std::vector<std::atomic<bool>>(endpoint_count());
-  last_heard_ = std::vector<std::atomic<std::uint64_t>>(endpoint_count());
+  if (transport != nullptr) {
+    if (transport->endpoint_count() != endpoint_count()) {
+      throw std::invalid_argument(
+          "transport endpoint count does not match the fabric's");
+    }
+    transport_ = transport;
+  } else {
+    owned_transport_ =
+        std::make_unique<bgq::transport::InProcTransport>(endpoint_count());
+    transport_ = owned_transport_.get();
+  }
+  transport_->set_sink(this);
 }
 
 Fabric::~Fabric() {
@@ -84,14 +94,14 @@ void Fabric::inject(Packet* p) {
   // one vanish before any accounting, exactly like a powered-off node's
   // NIC.  (Retransmits to a dead peer are culled separately at the PAMI
   // layer once the sender learns of the death.)
-  if (dead_[p->src].load(std::memory_order_acquire) ||
-      dead_[p->dst].load(std::memory_order_acquire)) {
-    blackholed_.fetch_add(1, std::memory_order_relaxed);
+  if (transport_->endpoint_dead(p->src) ||
+      transport_->endpoint_dead(p->dst)) {
+    transport_->note_blackholed();
     delete p;
     return;
   }
-  if (liveness_.load(std::memory_order_acquire)) {
-    last_heard_[p->src].store(now_ns(), std::memory_order_release);
+  if (transport_->liveness_enabled()) {
+    transport_->touch_liveness(p->src, now_ns());
   }
 
   const int hops = torus_.hops(node_of(p->src), node_of(p->dst));
@@ -117,33 +127,23 @@ void Fabric::inject(Packet* p) {
 
 void Fabric::deliver_packet(Packet* p) {
   switch (p->kind) {
-    case TransferKind::kMemFifo: {
-      ReceptionFifo& fifo = reception_fifo(p->dst, p->rec_fifo);
-      // Read the trace fields before publishing: deliver() hands the
-      // packet to the receiver, which may free it before we return.
-      const std::uint64_t cid = p->cid;
-      const std::uint32_t dst = static_cast<std::uint32_t>(p->dst);
-      if (faults_ != nullptr && faults_->plan.reject_on_full) {
-        // Overload mode: a full FIFO refuses the packet outright.  The
-        // sender's reliability layer sees the missing ack and retransmits
-        // — refusal becomes backpressure, not loss.
-        if (!fifo.try_deliver(p)) {
-          rejects_.fetch_add(1, std::memory_order_relaxed);
-          delete p;
-          break;
-        }
-      } else {
-        fifo.deliver(p);
+    case TransferKind::kMemFifo:
+      if (!transport_->endpoint_local(p->dst)) {
+        // The destination endpoint lives in another OS process: the
+        // chaos layer has already rolled its dice above, so the
+        // transport hop models a lossless wire (its own reliability is
+        // the kernel's / the ring's).
+        transport_->inject(p);
+        break;
       }
-      if (cid != 0) {
-        trace::emit_here(trace::EventKind::kNetDeliver, dst, cid);
-      }
+      fifo_handoff(p);
       break;
-    }
     case TransferKind::kRdmaRead:
     case TransferKind::kRdmaWrite:
       // Same address space: perform the MU's DMA copy here, then deliver
-      // the completion notification to the destination FIFO.
+      // the completion notification to the destination FIFO.  The machine
+      // layer forces the eager protocol for remote-process destinations,
+      // so RDMA kinds never reach the transport.
       if (p->rdma_bytes != 0) {
         std::memcpy(p->rdma_dst, p->rdma_src, p->rdma_bytes);
       }
@@ -154,6 +154,46 @@ void Fabric::deliver_packet(Packet* p) {
       reception_fifo(p->dst, p->rec_fifo).deliver(p);
       break;
   }
+}
+
+void Fabric::fifo_handoff(Packet* p) {
+  ReceptionFifo& fifo = reception_fifo(p->dst, p->rec_fifo);
+  // Read the trace fields before publishing: deliver() hands the
+  // packet to the receiver, which may free it before we return.
+  const std::uint64_t cid = p->cid;
+  const std::uint32_t dst = static_cast<std::uint32_t>(p->dst);
+  if (faults_ != nullptr && faults_->plan.reject_on_full) {
+    // Overload mode: a full FIFO refuses the packet outright.  The
+    // sender's reliability layer sees the missing ack and retransmits
+    // — refusal becomes backpressure, not loss.
+    if (!fifo.try_deliver(p)) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      delete p;
+      return;
+    }
+  } else {
+    fifo.deliver(p);
+  }
+  if (cid != 0) {
+    trace::emit_here(trace::EventKind::kNetDeliver, dst, cid);
+  }
+}
+
+void Fabric::deliver_remote(Packet* p) {
+  // Receive side of a cross-process transfer.  The sender's fabric did
+  // the dead-check against *its* view; re-check against ours so a frame
+  // already in flight when the death was declared locally is swallowed
+  // exactly like an in-process transfer would have been.
+  if (transport_->endpoint_dead(p->src) ||
+      transport_->endpoint_dead(p->dst)) {
+    transport_->note_blackholed();
+    delete p;
+    return;
+  }
+  if (transport_->liveness_enabled()) {
+    transport_->touch_liveness(p->src, now_ns());
+  }
+  fifo_handoff(p);
 }
 
 void Fabric::inject_faulty(Packet* p) {

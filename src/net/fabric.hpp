@@ -27,6 +27,7 @@
 #include "net/params.hpp"
 #include "queue/l2_atomic_queue.hpp"
 #include "topology/torus.hpp"
+#include "transport/transport.hpp"
 #include "wakeup/wakeup_unit.hpp"
 
 namespace bgq::net {
@@ -91,16 +92,20 @@ class ReceptionFifo {
 /// ids (node * endpoints_per_node + local).  Endpoints sharing a node are 0
 /// torus hops apart — their transfers still pay the MU base latency, which
 /// is exactly the Fig. 5 "different processes, same node" loopback case.
-class Fabric {
+class Fabric : public transport::DeliverySink {
  public:
   /// `rec_fifos_per_node`: one per PAMI context, so each context polls its
   /// own FIFO without locks (BG/Q provides 272 per node; we allocate what
   /// the runtime asks for).  `fifo_capacity` sizes each reception FIFO's
   /// lockless ring (MachineConfig::rec_fifo_capacity plumbs it through).
+  /// `transport` selects the delivery discipline for endpoints hosted by
+  /// other OS processes (not owned; must outlive the fabric); when null
+  /// the fabric owns an InProcTransport and behaves exactly as before.
   Fabric(const topo::Torus& torus, NetworkParams params,
          unsigned rec_fifos_per_endpoint, unsigned endpoints_per_node = 1,
-         std::size_t fifo_capacity = 4096);
-  ~Fabric();
+         std::size_t fifo_capacity = 4096,
+         transport::Transport* transport = nullptr);
+  ~Fabric() override;
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -135,38 +140,56 @@ class Fabric {
   void set_fault_plan(const FaultPlan& plan);
   bool faults_enabled() const noexcept { return faults_ != nullptr; }
 
+  // ---- transport (multi-process delivery) -------------------------------
+
+  /// The delivery discipline for endpoints hosted by other OS processes.
+  /// Also the backend-agnostic home of endpoint death/liveness state.
+  transport::Transport& transport() noexcept { return *transport_; }
+  const transport::Transport& transport() const noexcept {
+    return *transport_;
+  }
+
+  /// Drain the transport's inbound frames into local reception FIFOs
+  /// (no-op for the in-process transport).  Returns frames processed.
+  std::size_t progress() { return transport_->poll(); }
+
+  /// transport::DeliverySink: a packet another rank's fabric injected for
+  /// one of our endpoints.  Takes ownership; performs the same reception
+  /// FIFO handoff as a local transfer.
+  void deliver_remote(Packet* p) override;
+
   // ---- endpoint death + liveness (fault tolerance) ----------------------
+  // State lives in the transport so shared-memory jobs can share it; these
+  // forwards keep the fabric's callers backend-agnostic.
 
   /// Blackhole an endpoint: every future transfer from or to it is
   /// swallowed (counted in blackholed()), modeling a dead node whose NIC
   /// neither sends nor acks.  Irreversible for the run.
   void kill_endpoint(topo::NodeId endpoint) {
-    dead_[endpoint].store(true, std::memory_order_release);
+    transport_->kill_endpoint(endpoint);
   }
   bool endpoint_dead(topo::NodeId endpoint) const noexcept {
-    return dead_[endpoint].load(std::memory_order_acquire);
+    return transport_->endpoint_dead(endpoint);
   }
 
   /// Turn on per-endpoint last-heard stamping: every inject() records a
   /// host timestamp for its *source* endpoint, so any traffic — data,
   /// acks, heartbeats — refreshes the sender's liveness.  Off by default
   /// (one clock read per transfer).
-  void enable_liveness() noexcept {
-    liveness_.store(true, std::memory_order_release);
-  }
+  void enable_liveness() noexcept { transport_->enable_liveness(); }
   /// Last ns timestamp endpoint `ep` was heard from (0 = never).
   std::uint64_t last_heard(topo::NodeId ep) const noexcept {
-    return last_heard_[ep].load(std::memory_order_acquire);
+    return transport_->last_heard(ep);
   }
   /// Stamp `ep` as alive now — the failure detector seeds all endpoints
   /// at run start so nobody is declared dead before traffic begins.
   void touch_liveness(topo::NodeId ep, std::uint64_t now_ns) noexcept {
-    last_heard_[ep].store(now_ns, std::memory_order_release);
+    transport_->touch_liveness(ep, now_ns);
   }
 
   /// Transfers swallowed because an endpoint on either side was dead.
   std::uint64_t blackholed() const noexcept {
-    return blackholed_.load(std::memory_order_relaxed);
+    return transport_->blackholed();
   }
 
   // ---- statistics -------------------------------------------------------
@@ -203,8 +226,11 @@ class Fabric {
  private:
   struct FaultState;
 
-  /// Terminal delivery (post-fault stage): RDMA copy + FIFO handoff.
+  /// Terminal delivery (post-fault stage): remote routing, RDMA copy +
+  /// FIFO handoff.
   void deliver_packet(Packet* p);
+  /// Local reception-FIFO handoff shared by local and remote arrivals.
+  void fifo_handoff(Packet* p);
   /// The chaos path: mature delayed packets, roll the dice on `p`.
   void inject_faulty(Packet* p);
 
@@ -218,12 +244,8 @@ class Fabric {
 
   std::unique_ptr<FaultState> faults_;
 
-  // Per-endpoint death flags and last-heard stamps (vector sizes fixed at
-  // construction; the atomics themselves are the only mutable state).
-  std::vector<std::atomic<bool>> dead_;
-  std::vector<std::atomic<std::uint64_t>> last_heard_;
-  std::atomic<bool> liveness_{false};
-  std::atomic<std::uint64_t> blackholed_{0};
+  std::unique_ptr<transport::Transport> owned_transport_;
+  transport::Transport* transport_;  ///< never null after construction
 
   std::atomic<std::uint64_t> transfers_{0};
   std::atomic<std::uint64_t> net_packets_{0};

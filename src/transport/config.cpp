@@ -1,0 +1,121 @@
+#include "transport/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace bgq::transport {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("transport spec \"" + std::string(spec) +
+                              "\": " + why);
+}
+
+unsigned long parse_ul(std::string_view spec, std::string_view tok,
+                       const std::string& key) {
+  std::size_t used = 0;
+  unsigned long v = 0;
+  try {
+    v = std::stoul(std::string(tok), &used);
+  } catch (const std::exception&) {
+    bad(spec, "bad number for " + key + ": \"" + std::string(tok) + "\"");
+  }
+  if (used != tok.size()) {
+    bad(spec, "bad number for " + key + ": \"" + std::string(tok) + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+Config Config::parse(std::string_view spec) {
+  Config c;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view tok = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      bad(spec, "token \"" + std::string(tok) + "\" is not key=value");
+    }
+    const std::string key(tok.substr(0, eq));
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "kind") {
+      if (val == "inproc") {
+        c.kind = Kind::kInProc;
+      } else if (val == "shm") {
+        c.kind = Kind::kShm;
+      } else if (val == "socket") {
+        c.kind = Kind::kSocket;
+      } else {
+        bad(spec, "unknown kind \"" + std::string(val) + "\"");
+      }
+    } else if (key == "nprocs") {
+      c.nprocs = static_cast<unsigned>(parse_ul(spec, val, key));
+      if (c.nprocs == 0) bad(spec, "nprocs must be >= 1");
+    } else if (key == "rank") {
+      c.rank = static_cast<unsigned>(parse_ul(spec, val, key));
+    } else if (key == "session") {
+      if (val.empty()) bad(spec, "empty session");
+      c.session = std::string(val);
+    } else if (key == "ring_kb") {
+      const unsigned long kb = parse_ul(spec, val, key);
+      if (kb == 0) bad(spec, "ring_kb must be >= 1");
+      c.ring_bytes = static_cast<std::size_t>(kb) * 1024;
+    } else if (key == "tcp") {
+      const unsigned long v = parse_ul(spec, val, key);
+      if (v > 1) bad(spec, "tcp must be 0 or 1");
+      c.use_tcp = v != 0;
+    } else if (key == "port") {
+      const unsigned long v = parse_ul(spec, val, key);
+      if (v == 0 || v > 65535) bad(spec, "port out of range");
+      c.base_port = static_cast<std::uint16_t>(v);
+    } else if (key == "dir") {
+      if (val.empty()) bad(spec, "empty dir");
+      c.socket_dir = std::string(val);
+    } else {
+      bad(spec, "unknown key \"" + key + "\"");
+    }
+  }
+  if (c.rank >= c.nprocs) {
+    bad(spec, "rank " + std::to_string(c.rank) + " out of range for nprocs " +
+                  std::to_string(c.nprocs));
+  }
+  return c;
+}
+
+Config Config::from_env() {
+  const char* env = std::getenv("BGQ_TRANSPORT");
+  if (env == nullptr || *env == '\0') return Config{};
+  try {
+    return parse(env);
+  } catch (const std::invalid_argument& e) {
+    // A typo'd BGQ_TRANSPORT must not silently run the job single-process:
+    // the other ranks of the launch would hang waiting for this one.
+    std::fprintf(stderr, "BGQ_TRANSPORT: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+std::string Config::to_spec() const {
+  std::string s = "kind=";
+  s += kind_name(kind);
+  s += ",nprocs=" + std::to_string(nprocs);
+  s += ",rank=" + std::to_string(rank);
+  s += ",session=" + session;
+  s += ",ring_kb=" + std::to_string(ring_bytes / 1024);
+  if (kind == Kind::kSocket) {
+    s += ",tcp=" + std::to_string(use_tcp ? 1 : 0);
+    s += ",port=" + std::to_string(base_port);
+    s += ",dir=" + socket_dir;
+  }
+  return s;
+}
+
+}  // namespace bgq::transport

@@ -1,0 +1,87 @@
+// Transport selection for the emulated machine.
+//
+// By default every "node" of the emulated job is a thread in one OS
+// process and the fabric copies packets in memory (kInProc).  The two
+// remote kinds split the job across real OS processes on one host: each
+// transport rank hosts exactly one emulated process (PAMI endpoint), and
+// packets destined for a remote rank cross a shared-memory ring (kShm,
+// modeled after the MU reception FIFOs) or a length-prefixed socket
+// stream (kSocket).
+//
+// Mirroring the BGQ_FAULT_PLAN pattern, the config can be supplied via
+// the BGQ_TRANSPORT environment variable — which is how the bgq-run
+// launcher distributes per-rank configuration to the processes it spawns:
+//
+//   BGQ_TRANSPORT="kind=shm,nprocs=4,rank=2,session=job17,ring_kb=256"
+//   BGQ_TRANSPORT="kind=socket,nprocs=2,rank=0,session=job17,tcp=0"
+//
+// An explicit MachineConfig::transport wins; otherwise the machine layer
+// consults the environment, so any existing binary can be launched as a
+// rank of a multi-process job without code changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bgq::transport {
+
+enum class Kind : std::uint8_t {
+  kInProc,  ///< today's single-address-space fabric (default)
+  kShm,     ///< per-endpoint-pair shared-memory SPSC rings
+  kSocket,  ///< Unix-domain (or TCP loopback) stream sockets
+};
+
+inline const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kInProc: return "inproc";
+    case Kind::kShm: return "shm";
+    case Kind::kSocket: return "socket";
+  }
+  return "?";
+}
+
+struct Config {
+  Kind kind = Kind::kInProc;
+
+  /// Transport ranks in the job == emulated processes of the machine.
+  /// The machine layer validates nprocs == MachineConfig::process_count().
+  unsigned nprocs = 1;
+
+  /// This OS process's rank (which emulated process it hosts).
+  unsigned rank = 0;
+
+  /// Job-unique session tag: names the shm segment / socket paths so
+  /// concurrent jobs (and concurrent tests) never collide.
+  std::string session = "bgq";
+
+  /// Per-endpoint-pair ring capacity in bytes (kShm).  A full ring
+  /// backpressures the producer (counted in net.transport.ring_full).
+  std::size_t ring_bytes = 1u << 18;
+
+  /// kSocket: use TCP loopback instead of Unix-domain sockets.
+  bool use_tcp = false;
+
+  /// TCP base port (rank r listens on base_port + r) when use_tcp.
+  std::uint16_t base_port = 17470;
+
+  /// Directory for Unix-domain socket paths.
+  std::string socket_dir = "/tmp";
+
+  bool remote() const noexcept { return kind != Kind::kInProc; }
+
+  /// Parse "kind=shm,nprocs=4,rank=1,session=x,ring_kb=256,tcp=1,
+  /// port=17470,dir=/tmp".  Unknown keys or malformed values throw
+  /// std::invalid_argument naming the bad token; empty spec = inproc.
+  static Config parse(std::string_view spec);
+
+  /// The BGQ_TRANSPORT environment override, or an inproc config when the
+  /// variable is unset.  A malformed value prints a diagnostic to stderr
+  /// and exits(2) — a typo'd launch must not silently run single-process.
+  static Config from_env();
+
+  /// Serialize for a child's BGQ_TRANSPORT (bgq-run sets this per rank).
+  std::string to_spec() const;
+};
+
+}  // namespace bgq::transport

@@ -1,0 +1,80 @@
+// Shared-memory transport: the job's OS processes map one POSIX shm
+// segment holding a P×P matrix of SPSC byte rings (ring[i][j] carries
+// frames from rank i to rank j), modeled after the MU reception FIFOs.
+//
+// Rank 0 creates and initializes the segment and publishes a ready flag;
+// the other ranks retry-attach until it appears.  Endpoint death flags
+// and last-heard stamps live in the segment header, so the sender-side
+// liveness stamping performed by each rank's fabric is observed by every
+// other rank's failure detector — the same single-writer-per-slot
+// discipline as the in-process fabric, just in a shared mapping.
+//
+// Frames larger than the ring capacity can never be pushed; the
+// transport rejects them loudly (raise ring_kb) instead of deadlocking.
+// A full ring backpressures the producer (net.transport.ring_full); the
+// stall breaks if the consumer's endpoint is declared dead.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "transport/shm_ring.hpp"
+#include "transport/transport.hpp"
+
+namespace bgq::transport {
+
+struct ShmHeader;
+
+class ShmTransport final : public Transport {
+ public:
+  /// Attaches (rank != 0) or creates (rank 0) the session's segment.
+  /// Throws std::runtime_error on shm/mmap failure or attach timeout.
+  explicit ShmTransport(const Config& cfg);
+  ~ShmTransport() override;
+
+  Kind kind() const noexcept override { return Kind::kShm; }
+  bool endpoint_local(topo::NodeId ep) const noexcept override {
+    return static_cast<unsigned>(ep) == rank_;
+  }
+
+  void inject(net::Packet* p) override;
+  std::size_t poll() override;
+  void send_ctrl(int dst, const CtrlMsg& m) override;
+
+  // Liveness and death state is shared across the job (segment header).
+  void kill_endpoint(topo::NodeId ep) override;
+  bool endpoint_dead(topo::NodeId ep) const noexcept override;
+  std::uint64_t last_heard(topo::NodeId ep) const noexcept override;
+  void touch_liveness(topo::NodeId ep, std::uint64_t t) noexcept override;
+
+  const std::string& segment_name() const noexcept { return name_; }
+
+  /// Remove a session's segment from the namespace (launcher cleanup;
+  /// idempotent, missing segment is not an error).
+  static void unlink_session(const std::string& session);
+
+ private:
+  void push_frame(unsigned dst, const std::vector<std::byte>& frame,
+                  bool ctrl);
+  std::size_t drain_ring(unsigned src);
+
+  const unsigned rank_;
+  const unsigned nprocs_;
+  std::string name_;
+  int fd_ = -1;
+  void* base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  ShmHeader* hdr_ = nullptr;
+
+  std::vector<ShmRingView> tx_;  ///< ring(rank_ -> j), indexed by j
+  std::vector<ShmRingView> rx_;  ///< ring(i -> rank_), indexed by i
+  /// Process-local producer serialization per outbound ring (workers and
+  /// comm threads inject concurrently; the ring itself is SPSC).
+  std::vector<std::unique_ptr<std::mutex>> tx_mu_;
+  std::mutex poll_mu_;  ///< single-consumer guard (try_lock in poll)
+  std::vector<std::byte> rx_scratch_;
+};
+
+}  // namespace bgq::transport

@@ -1,0 +1,116 @@
+// SPSC byte ring living in a shared-memory segment, modeled after the
+// MU reception FIFOs: the producer memcpys variable-length frames in,
+// the consumer drains them, and head/tail are monotonically increasing
+// 64-bit counters so wrap-around needs no modular arithmetic beyond the
+// offset computation.
+//
+// The control block and the data bytes are both inside the mmap'd
+// segment; this class is a process-local *view* (a pair of pointers) and
+// holds no state of its own, so every process can construct views over
+// the same ring.  Exactly one process produces into a given ring and
+// exactly one consumes from it (the segment holds a P×P matrix of rings,
+// one per ordered endpoint-pair), which makes the classic Lamport
+// protocol sufficient: release-store on the index you own, acquire-load
+// on the one you don't.
+//
+// std::atomic<u64> on both sides of a shared mapping is valid here: the
+// type is lock-free on every 64-bit target the repo builds on, and
+// address-free per the standard's guarantee for lock-free atomics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "verify/schedule_point.hpp"
+
+namespace bgq::transport {
+
+/// Per-ring control block, placed at the front of the ring's slice of
+/// the shared segment and followed by `capacity` data bytes.
+struct ShmRingCtrl {
+  alignas(64) std::atomic<std::uint64_t> head{0};  ///< producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail{0};  ///< consumer-owned
+};
+
+class ShmRingView {
+ public:
+  ShmRingView() = default;
+  ShmRingView(ShmRingCtrl* ctrl, std::byte* data, std::size_t capacity)
+      : ctrl_(ctrl), data_(data), cap_(capacity) {}
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  /// Bytes available to read right now (consumer-side estimate).
+  std::size_t readable() const noexcept {
+    return ctrl_->head.load(std::memory_order_acquire) -
+           ctrl_->tail.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of free space right now (producer-side estimate).
+  std::size_t writable() const noexcept {
+    return cap_ - (ctrl_->head.load(std::memory_order_relaxed) -
+                   ctrl_->tail.load(std::memory_order_acquire));
+  }
+
+  /// Producer: copy `n` bytes in if they fit, else change nothing and
+  /// return false.  All-or-nothing so a frame is never torn across a
+  /// failed push.  Single producer per ring.
+  bool try_push(const std::byte* src, std::size_t n) {
+    const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ctrl_->tail.load(std::memory_order_acquire);
+    if (cap_ - (head - tail) < n) {
+      BGQ_SCHED_POINT("shmring.push.full");
+      return false;
+    }
+    copy_in(head, src, n);
+    BGQ_SCHED_POINT("shmring.push.copied");
+    ctrl_->head.store(head + n, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: copy `n` bytes starting `offset` past the tail without
+  /// consuming them.  Returns false when that range is not readable yet.
+  /// The consumer peeks the frame header, then the body, then consume()s
+  /// the whole frame; a frame is never seen half-published because
+  /// try_push makes header and body visible with one release-store.
+  bool peek(std::uint64_t offset, std::byte* dst, std::size_t n) const {
+    const std::uint64_t tail = ctrl_->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = ctrl_->head.load(std::memory_order_acquire);
+    if (head - tail < offset + n) {
+      BGQ_SCHED_POINT("shmring.peek.empty");
+      return false;
+    }
+    copy_out(tail + offset, dst, n);
+    BGQ_SCHED_POINT("shmring.peek.copied");
+    return true;
+  }
+
+  /// Consumer: release `n` bytes back to the producer.
+  void consume(std::size_t n) {
+    const std::uint64_t tail = ctrl_->tail.load(std::memory_order_relaxed);
+    BGQ_SCHED_POINT("shmring.consume");
+    ctrl_->tail.store(tail + n, std::memory_order_release);
+  }
+
+ private:
+  void copy_in(std::uint64_t pos, const std::byte* src, std::size_t n) {
+    const std::size_t off = static_cast<std::size_t>(pos % cap_);
+    const std::size_t first = off + n <= cap_ ? n : cap_ - off;
+    std::memcpy(data_ + off, src, first);
+    if (first < n) std::memcpy(data_, src + first, n - first);
+  }
+  void copy_out(std::uint64_t pos, std::byte* dst, std::size_t n) const {
+    const std::size_t off = static_cast<std::size_t>(pos % cap_);
+    const std::size_t first = off + n <= cap_ ? n : cap_ - off;
+    std::memcpy(dst, data_ + off, first);
+    if (first < n) std::memcpy(dst + first, data_, n - first);
+  }
+
+  ShmRingCtrl* ctrl_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace bgq::transport

@@ -1,0 +1,70 @@
+// Stream-socket transport: a full mesh of Unix-domain (or TCP loopback)
+// connections with length-prefixed framing, for jobs whose ranks cannot
+// share memory.
+//
+// Connection establishment is deadlock-free by construction: every rank
+// brings up its listener first, then connects to all lower ranks
+// (retrying until their listeners appear), then accepts from all higher
+// ranks; a connector identifies itself with a 4-byte hello.  Writes are
+// blocking and serialized per peer, so a frame is never interleaved;
+// reads are non-blocking drains in poll().
+//
+// Liveness: the receiver stamps a frame's origin on arrival — on a
+// socket, hearing from a peer *is* the only evidence it is alive — so
+// heartbeats refresh the local last-heard table exactly as the shared
+// fabric stamps do for the in-process and shm backends.  A peer that
+// dies mid-run reads as EOF; its connection is parked and later writes
+// to it are swallowed as blackholed, while the failure detector learns
+// of the death from heartbeat silence as usual.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace bgq::transport {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Binds, connects the mesh and completes the hello handshake; throws
+  /// std::runtime_error if any peer cannot be reached within the window.
+  explicit SocketTransport(const Config& cfg);
+  ~SocketTransport() override;
+
+  Kind kind() const noexcept override { return Kind::kSocket; }
+  bool endpoint_local(topo::NodeId ep) const noexcept override {
+    return static_cast<unsigned>(ep) == rank_;
+  }
+
+  void inject(net::Packet* p) override;
+  std::size_t poll() override;
+  void send_ctrl(int dst, const CtrlMsg& m) override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool open = false;
+    std::unique_ptr<std::mutex> write_mu;
+    std::vector<std::byte> rxbuf;  ///< partial-frame accumulation
+  };
+
+  std::string uds_path(unsigned rank) const;
+  void connect_to(unsigned peer);
+  void accept_from_higher();
+  void send_frame(unsigned dst, const std::vector<std::byte>& frame,
+                  bool ctrl);
+  std::size_t drain_peer(unsigned src);
+  std::size_t parse_frames(unsigned src);
+
+  const Config cfg_;
+  const unsigned rank_;
+  const unsigned nprocs_;
+  int listen_fd_ = -1;
+  std::vector<Peer> peers_;  ///< indexed by rank; self entry unused
+  std::mutex poll_mu_;
+};
+
+}  // namespace bgq::transport

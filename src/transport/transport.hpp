@@ -1,0 +1,205 @@
+// The fabric's delivery contract, extracted behind an interface so the
+// emulated machine can run over different byte-moving disciplines
+// without the layers above (PAMI reliability, fault plans, causal
+// tracing, FT heartbeats and buddy checkpoints) noticing.
+//
+// A Transport owns four things:
+//
+//   * the *data plane*: inject() ships a fabric Packet whose destination
+//     endpoint lives in another OS process; poll() drains inbound frames
+//     and hands reassembled packets to the DeliverySink (the fabric),
+//     which performs the local reception-FIFO handoff exactly as for an
+//     in-process transfer;
+//   * the *control plane*: small reliable ordered frames the machine
+//     layer uses for its distributed services (barrier merges, stop,
+//     checkpoint blobs).  Control frames bypass the chaos layer — they
+//     model the out-of-band service network, not the torus;
+//   * *endpoint liveness*: per-endpoint death flags, last-heard stamps
+//     and the blackhole counter used to live in Fabric; they are
+//     delivery-discipline state (a shared-memory job shares the stamps,
+//     a socket job learns liveness from frame arrivals), so they live
+//     here and the fabric forwards;
+//   * *counters*: injects/polls/ring_full/reconnects, exported as
+//     net.transport.* gauges.
+//
+// Dependency direction: this header depends only on the header-only
+// packet descriptor; backends never include fabric.hpp.  The fabric
+// depends on the transport (bgq_net links bgq_transport), implements
+// DeliverySink, and defaults to an InProcTransport that reproduces the
+// old behavior bit-identically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "transport/config.hpp"
+
+namespace bgq::transport {
+
+/// One machine-layer control message.  `type` is owned by the machine
+/// layer (converse/machine.cpp defines the registry); a/b/c are small
+/// scalar arguments and `blob` carries bulk payloads (checkpoint blobs).
+struct CtrlMsg {
+  std::uint16_t type = 0;
+  std::uint32_t origin = 0;  ///< sender's transport rank
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::vector<std::byte> blob;
+};
+
+/// Where inbound data-plane packets go (the fabric implements this with
+/// its reception-FIFO handoff).
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  /// Takes ownership of `p` (kMemFifo only — RDMA kinds never cross
+  /// address spaces; the machine layer forces the eager protocol for
+  /// remote-process destinations).
+  virtual void deliver_remote(net::Packet* p) = 0;
+};
+
+using CtrlHandler = std::function<void(const CtrlMsg&)>;
+
+/// Transport counters (net.transport.* gauges).  Plain atomics: writers
+/// are the injecting threads and the polling thread.
+struct Counters {
+  std::atomic<std::uint64_t> injects{0};    ///< data packets shipped out
+  std::atomic<std::uint64_t> polls{0};      ///< poll() calls
+  std::atomic<std::uint64_t> frames_in{0};  ///< data+ctrl frames received
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> ring_full{0};   ///< producer stalls on a full ring
+  std::atomic<std::uint64_t> reconnects{0};  ///< socket connect retries
+  std::atomic<std::uint64_t> ctrl_out{0};
+  std::atomic<std::uint64_t> ctrl_in{0};
+};
+
+class Transport {
+ public:
+  explicit Transport(std::size_t endpoints) : endpoints_(endpoints) {
+    dead_ = std::vector<std::atomic<bool>>(endpoints);
+    last_heard_ = std::vector<std::atomic<std::uint64_t>>(endpoints);
+  }
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual Kind kind() const noexcept = 0;
+  std::size_t endpoint_count() const noexcept { return endpoints_; }
+
+  /// True when packets to endpoint `ep` are delivered by the local
+  /// fabric's in-memory handoff (no transport hop).
+  virtual bool endpoint_local(topo::NodeId ep) const noexcept = 0;
+
+  // ---- data plane --------------------------------------------------------
+
+  /// Ship a packet whose destination endpoint is remote.  Takes
+  /// ownership.  Lossless and per-pair ordered (chaos is injected on the
+  /// sender's fabric *before* this call, exactly where the in-process
+  /// fabric rolls its dice).
+  virtual void inject(net::Packet* p) = 0;
+
+  /// Drain inbound frames: data packets go to the sink, control messages
+  /// to the ctrl handler.  Returns frames processed.  Single consumer.
+  virtual std::size_t poll() = 0;
+
+  /// Push out any locally queued bytes (socket write backlogs).  Called
+  /// around barriers and at shutdown; lossless transports may no-op.
+  virtual void flush() {}
+
+  // ---- control plane -----------------------------------------------------
+
+  /// Send a control message to rank `dst` (-1 = every other rank).
+  /// Reliable, per-pair FIFO with respect to other ctrl *and* data
+  /// frames on the same pair.  No-op for in-process transports.
+  virtual void send_ctrl(int dst, const CtrlMsg& m) {
+    (void)dst;
+    (void)m;
+  }
+
+  void set_sink(DeliverySink* s) noexcept { sink_ = s; }
+  void set_ctrl_handler(CtrlHandler h) { on_ctrl_ = std::move(h); }
+
+  // ---- endpoint liveness & death (backend-agnostic home) -----------------
+
+  /// Blackhole an endpoint: every future transfer from or to it is
+  /// swallowed, modeling a dead node's NIC.  Irreversible for the run.
+  virtual void kill_endpoint(topo::NodeId ep) {
+    dead_[ep].store(true, std::memory_order_release);
+  }
+  virtual bool endpoint_dead(topo::NodeId ep) const noexcept {
+    return dead_[ep].load(std::memory_order_acquire);
+  }
+
+  /// Turn on last-heard stamping (one clock read per transfer; off by
+  /// default, the failure detector enables it).
+  virtual void enable_liveness() noexcept {
+    liveness_.store(true, std::memory_order_release);
+  }
+  bool liveness_enabled() const noexcept {
+    return liveness_.load(std::memory_order_acquire);
+  }
+  /// Last ns timestamp endpoint `ep` was heard from (0 = never).
+  virtual std::uint64_t last_heard(topo::NodeId ep) const noexcept {
+    return last_heard_[ep].load(std::memory_order_acquire);
+  }
+  virtual void touch_liveness(topo::NodeId ep, std::uint64_t t) noexcept {
+    last_heard_[ep].store(t, std::memory_order_release);
+  }
+
+  /// Transfers swallowed because an endpoint on either side was dead.
+  std::uint64_t blackholed() const noexcept {
+    return blackholed_.load(std::memory_order_relaxed);
+  }
+  void note_blackholed() noexcept {
+    blackholed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ protected:
+  void handle_ctrl(const CtrlMsg& m) {
+    counters_.ctrl_in.fetch_add(1, std::memory_order_relaxed);
+    if (on_ctrl_) on_ctrl_(m);
+  }
+
+  const std::size_t endpoints_;
+  DeliverySink* sink_ = nullptr;
+  CtrlHandler on_ctrl_;
+  Counters counters_;
+
+  std::vector<std::atomic<bool>> dead_;
+  std::vector<std::atomic<std::uint64_t>> last_heard_;
+  std::atomic<bool> liveness_{false};
+  std::atomic<std::uint64_t> blackholed_{0};
+};
+
+/// The in-process "transport": every endpoint is local, so the data and
+/// control planes are never exercised.  Exists so the fabric has exactly
+/// one home for death/liveness state regardless of backend — with this
+/// default the refactored fabric is bit-identical to the old one.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::size_t endpoints) : Transport(endpoints) {}
+
+  Kind kind() const noexcept override { return Kind::kInProc; }
+  bool endpoint_local(topo::NodeId) const noexcept override { return true; }
+
+  void inject(net::Packet* p) override {
+    delete p;
+    throw std::logic_error(
+        "InProcTransport::inject: every endpoint is local");
+  }
+  std::size_t poll() override {
+    counters_.polls.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+};
+
+}  // namespace bgq::transport

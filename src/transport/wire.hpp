@@ -1,0 +1,202 @@
+// Length-prefixed frame codec shared by the shared-memory and socket
+// transports.
+//
+// Frame layout on the wire / in a ring:
+//
+//   u32  body_len          (bytes after this field)
+//   u8   frame type        (kFrameData | kFrameCtrl)
+//   ...  body
+//
+// A data body is a serialized fabric Packet — every field the receiver
+// acts on, including the reliability protocol's seq/flags/acks/checksum
+// and the causal-trace cid sidecar, so the PAMI layers on both sides see
+// exactly the packets an in-process run would.  RDMA kinds are never
+// encoded: raw pointers cannot cross address spaces, and the machine
+// layer forces the eager protocol for remote-process destinations.
+//
+// Fixed little-endian-style byte order via explicit shifts: both ends of
+// a job run on the same host today, but a codec that depends on host
+// endianness would silently break the first multi-host run.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "transport/transport.hpp"
+
+namespace bgq::transport::wire {
+
+constexpr std::uint8_t kFrameData = 0;
+constexpr std::uint8_t kFrameCtrl = 1;
+
+/// Frame header bytes preceding the body: u32 length + u8 type.
+constexpr std::size_t kFrameOverhead = 5;
+
+inline void put_u16(std::vector<std::byte>& o, std::uint16_t v) {
+  o.push_back(static_cast<std::byte>(v & 0xff));
+  o.push_back(static_cast<std::byte>(v >> 8));
+}
+inline void put_u32(std::vector<std::byte>& o, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    o.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void put_u64(std::vector<std::byte>& o, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    o.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void put_bytes(std::vector<std::byte>& o, const std::byte* p,
+                      std::size_t n) {
+  o.insert(o.end(), p, p + n);
+}
+
+/// Bounds-checked cursor over a received body: a frame off the wire can
+/// be anything, so truncation must be a loud error, not a wild read.
+class Reader {
+ public:
+  Reader(const std::byte* p, std::size_t n) : p_(p), n_(n) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(p_[pos_++]);
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::vector<std::byte> bytes(std::size_t n) {
+    need(n);
+    std::vector<std::byte> out(p_ + pos_, p_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const noexcept { return n_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > n_) {
+      throw std::runtime_error("transport wire: truncated frame");
+    }
+  }
+  const std::byte* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+/// Append one framed data packet to `out`.
+inline void encode_packet(const net::Packet& p, std::vector<std::byte>& out) {
+  if (p.kind != net::TransferKind::kMemFifo) {
+    throw std::logic_error(
+        "transport wire: RDMA transfers cannot cross processes");
+  }
+  const std::size_t mark = out.size();
+  put_u32(out, 0);  // body length, patched below
+  out.push_back(static_cast<std::byte>(kFrameData));
+  put_u32(out, static_cast<std::uint32_t>(p.src));
+  put_u32(out, static_cast<std::uint32_t>(p.dst));
+  put_u16(out, p.dispatch);
+  put_u16(out, p.rec_fifo);
+  put_u16(out, p.src_ctx);
+  out.push_back(static_cast<std::byte>(p.flags));
+  put_u64(out, p.seq);
+  put_u64(out, p.checksum);
+  put_u64(out, p.cid);
+  put_u64(out, p.wire_ns);
+  put_u32(out, p.num_packets);
+  put_u32(out, static_cast<std::uint32_t>(p.metadata.size()));
+  put_bytes(out, p.metadata.data(), p.metadata.size());
+  put_u32(out, static_cast<std::uint32_t>(p.payload.size()));
+  put_bytes(out, p.payload.data(), p.payload.size());
+  put_u32(out, static_cast<std::uint32_t>(p.acks.size()));
+  for (const std::uint64_t a : p.acks) put_u64(out, a);
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(out.size() - mark - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[mark + i] = static_cast<std::byte>((body >> (8 * i)) & 0xff);
+  }
+}
+
+/// Decode a data body (after the type byte) into a fresh Packet.
+inline net::Packet* decode_packet(const std::byte* body, std::size_t n) {
+  Reader r(body, n);
+  auto p = std::make_unique<net::Packet>();
+  p->kind = net::TransferKind::kMemFifo;
+  p->src = static_cast<topo::NodeId>(r.u32());
+  p->dst = static_cast<topo::NodeId>(r.u32());
+  p->dispatch = r.u16();
+  p->rec_fifo = r.u16();
+  p->src_ctx = r.u16();
+  p->flags = r.u8();
+  p->seq = r.u64();
+  p->checksum = r.u64();
+  p->cid = r.u64();
+  p->wire_ns = r.u64();
+  p->num_packets = r.u32();
+  p->metadata = r.bytes(r.u32());
+  p->payload = r.bytes(r.u32());
+  const std::uint32_t nacks = r.u32();
+  p->acks.reserve(nacks);
+  for (std::uint32_t i = 0; i < nacks; ++i) p->acks.push_back(r.u64());
+  return p.release();
+}
+
+/// Append one framed control message to `out`.
+inline void encode_ctrl(const CtrlMsg& m, std::vector<std::byte>& out) {
+  const std::size_t mark = out.size();
+  put_u32(out, 0);
+  out.push_back(static_cast<std::byte>(kFrameCtrl));
+  put_u16(out, m.type);
+  put_u32(out, m.origin);
+  put_u64(out, m.a);
+  put_u64(out, m.b);
+  put_u64(out, m.c);
+  put_u32(out, static_cast<std::uint32_t>(m.blob.size()));
+  put_bytes(out, m.blob.data(), m.blob.size());
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(out.size() - mark - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[mark + i] = static_cast<std::byte>((body >> (8 * i)) & 0xff);
+  }
+}
+
+inline CtrlMsg decode_ctrl(const std::byte* body, std::size_t n) {
+  Reader r(body, n);
+  CtrlMsg m;
+  m.type = r.u16();
+  m.origin = r.u32();
+  m.a = r.u64();
+  m.b = r.u64();
+  m.c = r.u64();
+  m.blob = r.bytes(r.u32());
+  return m;
+}
+
+}  // namespace bgq::transport::wire
